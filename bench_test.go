@@ -1,0 +1,64 @@
+package cxlmem
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its experiment (reduced sample counts, same
+// code paths) and reports how long a full regeneration takes; run with
+//
+//	go test -bench=. -benchmem
+//
+// To see the regenerated rows, run `go test -bench=BenchmarkFig3 -v` or use
+// the cxlbench command.
+
+import (
+	"testing"
+
+	"cxlmem/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultOptions()
+	opts.Quick = true
+	var tbl *experiments.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl = e.Run(opts)
+	}
+	b.StopTimer()
+	if tbl == nil || len(tbl.Rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	if testing.Verbose() {
+		b.Log("\n" + tbl.Render())
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4a(b *testing.B)  { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)  { benchExperiment(b, "fig4b") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B)  { benchExperiment(b, "fig6c") }
+func BenchmarkFig6d(b *testing.B)  { benchExperiment(b, "fig6d") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9a(b *testing.B)  { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { benchExperiment(b, "fig9b") }
+func BenchmarkFig11a(b *testing.B) { benchExperiment(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
+func BenchmarkFig12a(b *testing.B) { benchExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B) { benchExperiment(b, "fig12b") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+
+func BenchmarkAblationLLC(b *testing.B)       { benchExperiment(b, "ablation-llc") }
+func BenchmarkAblationCoherence(b *testing.B) { benchExperiment(b, "ablation-coherence") }
+func BenchmarkAblationEstimator(b *testing.B) { benchExperiment(b, "ablation-estimator") }

@@ -1,0 +1,66 @@
+// Command cxlbench regenerates the paper's tables and figures from the
+// simulated system.
+//
+// Usage:
+//
+//	cxlbench -list            # show available experiment IDs
+//	cxlbench -run fig3        # regenerate one table/figure
+//	cxlbench -run all         # regenerate everything
+//	cxlbench -run fig13 -quick # reduced sample counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cxlmem"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment ID to run, or 'all'")
+	quick := flag.Bool("quick", false, "reduced sample counts")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range cxlmem.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+	case *run == "all":
+		for _, e := range cxlmem.Experiments() {
+			if err := emit(e.ID, *quick); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+	case *run != "":
+		if err := emit(*run, *quick); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emit(id string, quick bool) error {
+	var out string
+	var err error
+	if quick {
+		out, err = cxlmem.RunExperimentQuick(id)
+	} else {
+		out, err = cxlmem.RunExperiment(id)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cxlbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Command memo runs the paper's custom microbenchmark against the simulated
+// system: per-instruction-type latency (16 random parallel accesses, median
+// of many trials) and bandwidth for every device.
+package main
+
+import (
+	"fmt"
+
+	"cxlmem/internal/mem"
+	"cxlmem/internal/memo"
+	"cxlmem/internal/topo"
+)
+
+func main() {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	cfg := memo.DefaultConfig()
+
+	fmt.Println("Per-access latency of 16 random parallel accesses (ns, median of 10k trials)")
+	fmt.Printf("%-8s  %8s  %8s  %8s  %8s\n", "Device", "ld", "nt-ld", "st", "nt-st")
+	for _, p := range sys.Paths() {
+		lat := memo.AllLatencies(p, cfg)
+		fmt.Printf("%-8s  %8.1f  %8.1f  %8.1f  %8.1f\n", p.Name,
+			lat[mem.Load].Nanoseconds(), lat[mem.NTLoad].Nanoseconds(),
+			lat[mem.Store].Nanoseconds(), lat[mem.NTStore].Nanoseconds())
+	}
+
+	fmt.Println()
+	fmt.Println("Bandwidth efficiency per instruction type (fraction of theoretical peak)")
+	fmt.Printf("%-8s  %8s  %8s  %8s  %8s\n", "Device", "ld", "nt-ld", "st", "nt-st")
+	for _, p := range sys.ComparisonPaths() {
+		bw := memo.AllBandwidths(p)
+		fmt.Printf("%-8s  %7.1f%%  %7.1f%%  %7.1f%%  %7.1f%%\n", p.Name,
+			bw[mem.Load].Efficiency*100, bw[mem.NTLoad].Efficiency*100,
+			bw[mem.Store].Efficiency*100, bw[mem.NTStore].Efficiency*100)
+	}
+}

@@ -1,0 +1,126 @@
+// Package cxlmem reproduces "Demystifying CXL Memory with Genuine CXL-Ready
+// Systems and Devices" (MICRO 2023) as a calibrated memory-subsystem
+// simulator plus the paper's Caption dynamic page-allocation policy.
+//
+// This root package is the public facade used by the examples and the
+// command-line tools: it builds simulated systems, runs the paper's
+// experiments by ID, and wires Caption controllers to workloads. The
+// building blocks live under internal/ (see DESIGN.md for the map).
+//
+// Quick start:
+//
+//	sys := cxlmem.NewSystem()                   // paper §5 setup: SNC on, 2 DDR ch + CXL
+//	out, err := cxlmem.RunExperiment("fig3")    // regenerate a figure
+//	fmt.Print(out)
+package cxlmem
+
+import (
+	"fmt"
+
+	"cxlmem/internal/core"
+	"cxlmem/internal/experiments"
+	"cxlmem/internal/numa"
+	"cxlmem/internal/telemetry"
+	"cxlmem/internal/topo"
+)
+
+// System is the simulated dual-socket SPR server with its memory devices.
+type System = topo.System
+
+// NewSystem builds the paper's application setup (§5): SNC mode on, two
+// local DDR5 channels, the three CXL devices attached.
+func NewSystem() *System {
+	return topo.NewSystem(topo.DefaultConfig())
+}
+
+// NewMicrobenchSystem builds the §4 characterization setup: SNC off, the
+// full 8-channel DDR5 pool as baseline.
+func NewMicrobenchSystem() *System {
+	return topo.NewSystem(topo.MicrobenchConfig())
+}
+
+// ExperimentInfo describes one reproducible table or figure.
+type ExperimentInfo struct {
+	// ID is the identifier accepted by RunExperiment ("fig3", "table1", ...).
+	ID string
+	// Desc is a one-line description.
+	Desc string
+}
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.All() {
+		out = append(out, ExperimentInfo{ID: e.ID, Desc: e.Desc})
+	}
+	return out
+}
+
+// RunExperiment regenerates the table or figure with the given ID at full
+// fidelity and returns its text rendering.
+func RunExperiment(id string) (string, error) {
+	return runExperiment(id, false)
+}
+
+// RunExperimentQuick runs a reduced-sample variant (used by benchmarks).
+func RunExperimentQuick(id string) (string, error) {
+	return runExperiment(id, true)
+}
+
+func runExperiment(id string, quick bool) (string, error) {
+	e, err := experiments.Get(id)
+	if err != nil {
+		return "", err
+	}
+	opts := experiments.DefaultOptions()
+	opts.Quick = quick
+	return e.Run(opts).Render(), nil
+}
+
+// Policy is a two-node (DDR, CXL) weighted-interleave allocation policy —
+// the knob Caption tunes. It satisfies numa.Policy.
+type Policy = numa.Weighted
+
+// NewPolicy creates a policy placing cxlPercent of new pages on CXL memory.
+func NewPolicy(cxlPercent float64) *Policy {
+	return numa.NewDDRCXLSplit(cxlPercent)
+}
+
+// Caption is a configured instance of the paper's dynamic page-allocation
+// controller driving a Policy.
+type Caption struct {
+	ctl    *core.Controller
+	policy *Policy
+}
+
+// Sample is one observation of the Table-4 PMU counters.
+type Sample = telemetry.Sample
+
+// NewCaption assembles a Caption controller. The estimator is fitted from a
+// calibration sweep: counter samples with the measured throughput at each
+// operating point (the paper uses a DLRM ratio sweep, §6.1 M2). The
+// returned controller updates policy on every Observe call.
+func NewCaption(sweep []Sample, throughput []float64, policy *Policy) (*Caption, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("cxlmem: nil policy")
+	}
+	est, err := core.FitEstimator(sweep, throughput)
+	if err != nil {
+		return nil, err
+	}
+	ctl := core.NewController(est, core.DefaultTunerConfig(), policy.SetCXLPercent)
+	return &Caption{ctl: ctl, policy: policy}, nil
+}
+
+// Observe feeds one sampling interval's raw counters into the controller;
+// the policy's CXL percentage is retuned as a side effect. It returns the
+// estimated memory-subsystem performance and the newly applied ratio.
+func (c *Caption) Observe(raw Sample) (state, ratio float64, err error) {
+	return c.ctl.Step(raw)
+}
+
+// Ratio returns the percentage of new pages currently steered to CXL.
+func (c *Caption) Ratio() float64 { return c.ctl.Ratio() }
+
+// History returns the controller's recorded (model output, ratio) series.
+func (c *Caption) History() (states, ratios []float64) { return c.ctl.History() }

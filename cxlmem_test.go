@@ -1,0 +1,98 @@
+package cxlmem
+
+import (
+	"strings"
+	"testing"
+
+	"cxlmem/internal/telemetry"
+	"cxlmem/internal/topo"
+	"cxlmem/internal/workloads/dlrm"
+)
+
+func TestNewSystems(t *testing.T) {
+	app := NewSystem()
+	if app.Config().SNCNodes != 4 || app.Config().LocalDDRChannels != 2 {
+		t.Error("NewSystem should match the paper's §5 setup")
+	}
+	micro := NewMicrobenchSystem()
+	if micro.Config().SNCNodes != 1 || micro.Config().LocalDDRChannels != 8 {
+		t.Error("NewMicrobenchSystem should match the §4 setup")
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	infos := Experiments()
+	if len(infos) != 24 {
+		t.Errorf("expected 24 experiments, got %d", len(infos))
+	}
+	for _, info := range infos {
+		if info.ID == "" || info.Desc == "" {
+			t.Errorf("incomplete info: %+v", info)
+		}
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	out, err := RunExperimentQuick("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CXL-A") {
+		t.Error("table1 output missing CXL-A")
+	}
+	if _, err := RunExperiment("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestCaptionFacade(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	cfg := dlrm.DefaultConfig()
+	var sweep []telemetry.Sample
+	var thr []float64
+	base := dlrm.Run(sys, cfg, "CXL-A", 0, 24, dlrm.SNCAlone).QueriesPerSec
+	for r := 0.0; r <= 100; r += 10 {
+		res := dlrm.Run(sys, cfg, "CXL-A", r, 24, dlrm.SNCAlone)
+		sweep = append(sweep, res.Sample)
+		thr = append(thr, res.QueriesPerSec/base)
+	}
+
+	policy := NewPolicy(50)
+	caption, err := NewCaption(sweep, thr, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := caption.Ratio()
+	for i := 0; i < 30; i++ {
+		res := dlrm.Run(sys, cfg, "CXL-A", ratio, 32, dlrm.SNCAlone)
+		_, next, err := caption.Observe(res.Sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio = next
+	}
+	// The policy must track the controller.
+	if policy.CXLPercent() != caption.Ratio() {
+		t.Errorf("policy %v%% != controller %v%%", policy.CXLPercent(), caption.Ratio())
+	}
+	// Tuned DLRM should comfortably beat DDR-only (interior optimum ~48%).
+	res := dlrm.Run(sys, cfg, "CXL-A", caption.Ratio(), 32, dlrm.SNCAlone)
+	ddr := dlrm.Run(sys, cfg, "CXL-A", 0, 32, dlrm.SNCAlone)
+	if res.QueriesPerSec < 1.2*ddr.QueriesPerSec {
+		t.Errorf("caption-tuned throughput %.2fM should beat DDR-only %.2fM by >20%%",
+			res.QueriesPerSec/1e6, ddr.QueriesPerSec/1e6)
+	}
+	states, ratios := caption.History()
+	if len(states) != 30 || len(ratios) != 30 {
+		t.Errorf("history lengths %d/%d", len(states), len(ratios))
+	}
+}
+
+func TestNewCaptionValidation(t *testing.T) {
+	if _, err := NewCaption(nil, nil, nil); err == nil {
+		t.Error("nil policy should error")
+	}
+	if _, err := NewCaption(make([]telemetry.Sample, 2), []float64{1, 2}, NewPolicy(50)); err == nil {
+		t.Error("degenerate sweep should error")
+	}
+}

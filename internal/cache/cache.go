@@ -1,0 +1,247 @@
+// Package cache implements the CPU cache hierarchy of the evaluated system:
+// per-core L1 and L2 caches and a sliced, non-inclusive last-level cache that
+// acts as a victim cache for L2 evictions (post-Skylake Intel organization,
+// paper §4.3).
+//
+// The package models the one structural property the paper shows to be
+// first-order for CXL memory performance: in sub-NUMA-clustering (SNC) mode,
+// L2 victims of lines homed in the node's *local DDR* may only be placed in
+// LLC slices of that node, while victims of lines homed in *remote or CXL
+// memory* may be placed in any slice of the socket — so a core streaming
+// from CXL memory sees a 2–4× larger effective LLC (observation O6,
+// Fig. 5, Table 3).
+//
+// It also provides Che's approximation for LRU hit rates under zipfian
+// popularity, used by the analytic application models where simulating every
+// access would be wasteful.
+package cache
+
+import (
+	"fmt"
+)
+
+// LineBytes is the cache line size.
+const LineBytes = 64
+
+// Level identifies where an access was satisfied.
+type Level int
+
+const (
+	// L1 hit in the core's private L1 data cache.
+	L1 Level = iota
+	// L2 hit in the core's private L2 cache.
+	L2
+	// LLC hit in a last-level cache slice.
+	LLC
+	// Memory indicates a full miss served by a memory device.
+	Memory
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case LLC:
+		return "LLC"
+	case Memory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// HomeKind classifies a line's backing device for LLC slice routing.
+type HomeKind int
+
+const (
+	// HomeLocalDDR marks data homed in the SNC node's own DDR channels:
+	// victims stay within the node's LLC slices.
+	HomeLocalDDR HomeKind = iota
+	// HomeRemote marks data homed in remote NUMA memory or a CXL device:
+	// victims may be placed in any slice of the socket.
+	HomeRemote
+)
+
+// Home describes where a line's data lives, for slice-routing purposes.
+type Home struct {
+	// Kind selects the routing class.
+	Kind HomeKind
+	// Node is the SNC node the page belongs to (the accessing node for CXL
+	// pages); only consulted when routing is confined to one node.
+	Node int
+}
+
+// way is one line slot in a set.
+type way struct {
+	tag   uint64
+	home  Home
+	valid bool
+	dirty bool
+	used  uint64 // LRU stamp
+}
+
+// Cache is a single set-associative, LRU write-back cache.
+// It stores tags only — the simulation tracks placement, not data.
+type Cache struct {
+	sets  []([]way)
+	ways  int
+	shift uint // 64 - log2(len(sets)), for Fibonacci set hashing
+	clock uint64
+
+	// Hits and Misses count lookups.
+	Hits, Misses uint64
+	// Evictions counts valid lines displaced by fills.
+	Evictions uint64
+}
+
+// NewCache builds a cache of sizeBytes capacity and the given associativity.
+// sizeBytes must be a positive multiple of ways*LineBytes; the set count is
+// rounded to a power of two (downward) for fast indexing.
+func NewCache(sizeBytes int64, ways int) *Cache {
+	if ways <= 0 {
+		panic("cache: non-positive associativity")
+	}
+	lines := sizeBytes / LineBytes
+	sets := lines / int64(ways)
+	if sets <= 0 {
+		panic(fmt.Sprintf("cache: size %d too small for %d ways", sizeBytes, ways))
+	}
+	// Round sets down to a power of two.
+	p := int64(1)
+	for p*2 <= sets {
+		p *= 2
+	}
+	c := &Cache{sets: make([][]way, p), ways: ways, shift: 64}
+	for s := p; s > 1; s /= 2 {
+		c.shift--
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, ways)
+	}
+	return c
+}
+
+// Lines returns the capacity in cache lines.
+func (c *Cache) Lines() int { return len(c.sets) * c.ways }
+
+// SizeBytes returns the modeled capacity in bytes.
+func (c *Cache) SizeBytes() int64 { return int64(c.Lines()) * LineBytes }
+
+func (c *Cache) setIndex(addr uint64) uint64 {
+	line := addr / LineBytes
+	// Fibonacci hashing: the *high* bits of the multiplicative hash index
+	// the set. Slice routing (hierarchy.go) consumes the low bits of the
+	// same product, so using high bits here keeps set placement
+	// uncorrelated with slice placement — like the physical-address
+	// hashing real LLCs use.
+	if c.shift >= 64 {
+		return 0
+	}
+	return (line * 0x9e3779b97f4a7c15) >> c.shift
+}
+
+// Lookup probes for addr. On a hit it refreshes LRU state, applies the dirty
+// bit for writes, and returns true.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	set := c.sets[c.setIndex(addr)]
+	tag := addr / LineBytes
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.clock++
+			set[i].used = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Victim is a line displaced by an insertion.
+type Victim struct {
+	Addr  uint64
+	Home  Home
+	Dirty bool
+}
+
+// Insert fills addr into the cache, returning the displaced victim (if any).
+func (c *Cache) Insert(addr uint64, home Home, dirty bool) (Victim, bool) {
+	idx := c.setIndex(addr)
+	set := c.sets[idx]
+	tag := addr / LineBytes
+	c.clock++
+
+	// Already present: refresh.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = c.clock
+			if dirty {
+				set[i].dirty = true
+			}
+			return Victim{}, false
+		}
+	}
+	// Free way?
+	for i := range set {
+		if !set[i].valid {
+			set[i] = way{tag: tag, home: home, valid: true, dirty: dirty, used: c.clock}
+			return Victim{}, false
+		}
+	}
+	// Evict LRU.
+	lru := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].used < set[lru].used {
+			lru = i
+		}
+	}
+	v := Victim{Addr: set[lru].tag * LineBytes, Home: set[lru].home, Dirty: set[lru].dirty}
+	set[lru] = way{tag: tag, home: home, valid: true, dirty: dirty, used: c.clock}
+	c.Evictions++
+	return v, true
+}
+
+// Invalidate removes addr if present, returning whether it was found and
+// whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (found, dirty bool) {
+	set := c.sets[c.setIndex(addr)]
+	tag := addr / LineBytes
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			d := set[i].dirty
+			set[i] = way{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// Occupancy returns the number of valid lines (O(capacity); intended for
+// tests and diagnostics).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, w := range set {
+			if w.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line (clflush of the whole cache, as memo does
+// before each latency measurement).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package cache
+
+import "fmt"
+
+// HierConfig sizes a Hierarchy. The defaults (see SPRHierConfig) follow the
+// paper's Intel Xeon 6430 system: 32 cores in 4 chiplets, 60 MB LLC.
+type HierConfig struct {
+	// Cores is the number of cores, each with private L1/L2 and one LLC
+	// slice (Intel allocates one slice per core).
+	Cores int
+	// SNCNodes is the number of sub-NUMA clusters (1 = SNC disabled).
+	// Cores must divide evenly among nodes.
+	SNCNodes int
+	// L1Bytes/L1Ways size each core's L1 data cache.
+	L1Bytes int64
+	L1Ways  int
+	// L2Bytes/L2Ways size each core's private L2.
+	L2Bytes int64
+	L2Ways  int
+	// LLCSliceBytes/LLCWays size each LLC slice.
+	LLCSliceBytes int64
+	LLCWays       int
+	// CXLBreaksIsolation selects whether remote/CXL-homed victims may use
+	// every slice (true: the measured hardware behaviour, O6) or are
+	// confined to the accessor's node (false: the ablation in DESIGN.md §6).
+	CXLBreaksIsolation bool
+}
+
+// SPRHierConfig returns the hierarchy of the evaluated Xeon 6430: 32 cores,
+// 48 KB L1D, 2 MB L2 per core, 60 MB LLC in 32 slices, with the given SNC
+// node count (1 or 4).
+func SPRHierConfig(sncNodes int) HierConfig {
+	return HierConfig{
+		Cores:              32,
+		SNCNodes:           sncNodes,
+		L1Bytes:            48 << 10,
+		L1Ways:             12,
+		L2Bytes:            2 << 20,
+		L2Ways:             16,
+		LLCSliceBytes:      (60 << 20) / 32,
+		LLCWays:            15,
+		CXLBreaksIsolation: true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c HierConfig) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("cache: %d cores", c.Cores)
+	}
+	if c.SNCNodes <= 0 || c.Cores%c.SNCNodes != 0 {
+		return fmt.Errorf("cache: %d cores do not divide into %d SNC nodes", c.Cores, c.SNCNodes)
+	}
+	return nil
+}
+
+// Hierarchy is the full multi-core cache system.
+type Hierarchy struct {
+	cfg    HierConfig
+	l1     []*Cache // per core
+	l2     []*Cache // per core
+	slices []*Cache // per core (one slice each)
+
+	// LLCHits/LLCMisses aggregate slice-level statistics.
+	LLCHits, LLCMisses uint64
+}
+
+// NewHierarchy builds the hierarchy for the given configuration.
+func NewHierarchy(cfg HierConfig) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{cfg: cfg}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, NewCache(cfg.L1Bytes, cfg.L1Ways))
+		h.l2 = append(h.l2, NewCache(cfg.L2Bytes, cfg.L2Ways))
+		h.slices = append(h.slices, NewCache(cfg.LLCSliceBytes, cfg.LLCWays))
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// NodeOf returns the SNC node of a core.
+func (h *Hierarchy) NodeOf(core int) int {
+	perNode := h.cfg.Cores / h.cfg.SNCNodes
+	return core / perNode
+}
+
+// sliceFor routes an address with the given home to its LLC slice, applying
+// the SNC isolation rules of §4.3.
+func (h *Hierarchy) sliceFor(addr uint64, home Home) int {
+	line := addr / LineBytes
+	hash := line * 0x9e3779b97f4a7c15
+	confined := false
+	node := home.Node
+	if h.cfg.SNCNodes > 1 {
+		switch home.Kind {
+		case HomeLocalDDR:
+			confined = true
+		case HomeRemote:
+			confined = !h.cfg.CXLBreaksIsolation
+		}
+	}
+	if confined {
+		perNode := h.cfg.Cores / h.cfg.SNCNodes
+		return node*perNode + int(hash%uint64(perNode))
+	}
+	return int(hash % uint64(h.cfg.Cores))
+}
+
+// EffectiveLLCBytes returns the LLC capacity visible to lines with the given
+// home: the whole socket for remote/CXL lines when isolation is broken, a
+// single node's slices otherwise.
+func (h *Hierarchy) EffectiveLLCBytes(home Home) int64 {
+	total := int64(h.cfg.Cores) * h.cfg.LLCSliceBytes
+	if h.cfg.SNCNodes == 1 {
+		return total
+	}
+	if home.Kind == HomeRemote && h.cfg.CXLBreaksIsolation {
+		return total
+	}
+	return total / int64(h.cfg.SNCNodes)
+}
+
+// Access performs one load or store by core to addr (a byte address) whose
+// page is homed as given. It returns the level that satisfied the access.
+//
+// The flow models a non-inclusive hierarchy with the LLC as an L2 victim
+// cache: fills from memory go to L1+L2; L2 victims are written to the routed
+// LLC slice; LLC hits promote the line back into the core's L1/L2 and remove
+// it from the LLC.
+func (h *Hierarchy) Access(core int, addr uint64, home Home, write bool) Level {
+	if core < 0 || core >= h.cfg.Cores {
+		panic(fmt.Sprintf("cache: core %d out of range", core))
+	}
+	if h.l1[core].Lookup(addr, write) {
+		return L1
+	}
+	if h.l2[core].Lookup(addr, write) {
+		h.fillL1(core, addr, home, write)
+		return L2
+	}
+	slice := h.slices[h.sliceFor(addr, home)]
+	if slice.Lookup(addr, write) {
+		// Victim-cache hit: promote to the core's private levels.
+		_, dirty := slice.Invalidate(addr)
+		h.LLCHits++
+		h.fillPrivate(core, addr, home, write || dirty)
+		return LLC
+	}
+	h.LLCMisses++
+	h.fillPrivate(core, addr, home, write)
+	return Memory
+}
+
+// fillPrivate installs a line into the core's L1 and L2, spilling the L2
+// victim into its routed LLC slice.
+func (h *Hierarchy) fillPrivate(core int, addr uint64, home Home, dirty bool) {
+	h.fillL1(core, addr, home, dirty)
+	if v, ok := h.l2[core].Insert(addr, home, dirty); ok {
+		// L2 victim spills to the LLC slice chosen by its own home.
+		h.slices[h.sliceFor(v.Addr, v.Home)].Insert(v.Addr, v.Home, v.Dirty)
+	}
+}
+
+func (h *Hierarchy) fillL1(core int, addr uint64, home Home, dirty bool) {
+	// L1 victims are silently dropped: L2 is modeled as inclusive of L1.
+	h.l1[core].Insert(addr, home, dirty)
+}
+
+// FlushAll empties every cache (the clflush+mfence preamble of memo).
+func (h *Hierarchy) FlushAll() {
+	for i := range h.l1 {
+		h.l1[i].Flush()
+		h.l2[i].Flush()
+		h.slices[i].Flush()
+	}
+}
+
+// SliceOccupancy returns the number of valid lines in each LLC slice
+// (diagnostics for the SNC-isolation tests).
+func (h *Hierarchy) SliceOccupancy() []int {
+	out := make([]int, len(h.slices))
+	for i, s := range h.slices {
+		out[i] = s.Occupancy()
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package coherence
+
+import (
+	"testing"
+
+	"cxlmem/internal/sim"
+)
+
+func TestStandardAgentsValidate(t *testing.T) {
+	for _, a := range []*Agent{LocalCHA(), RemoteDirectory(), CXLHomeStructure()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []*Agent{
+		{Name: "neg-serial", SerialCheck: -1, WriteMultiplier: 1},
+		{Name: "neg-burst", BurstPenalty: -1, WriteMultiplier: 1},
+		{Name: "small-mult", WriteMultiplier: 0.5},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s should fail validation", a.Name)
+		}
+	}
+}
+
+// TestO3RemoteDirectoryCosts captures observation O3's structure: the remote
+// directory (NUMA emulation) is slower to check serially AND congests under
+// bursts, while the on-chip CXL home structure is cheap on both axes.
+func TestO3RemoteDirectoryCosts(t *testing.T) {
+	remote, cxl, local := RemoteDirectory(), CXLHomeStructure(), LocalCHA()
+
+	if remote.SerialCost(false) <= cxl.SerialCost(false) {
+		t.Error("remote serial check should exceed CXL home structure")
+	}
+	if remote.BurstCost(false) <= 10*cxl.BurstCost(false) {
+		t.Error("remote burst penalty should dominate CXL burst penalty")
+	}
+	if cxl.SerialCost(false) >= local.SerialCost(false) {
+		t.Error("CXL home structure should be at most as expensive as a local CHA check")
+	}
+}
+
+func TestWriteMultiplierApplies(t *testing.T) {
+	a := RemoteDirectory()
+	if a.SerialCost(true) <= a.SerialCost(false) {
+		t.Error("RFO coherence should cost more than a read check")
+	}
+	if a.BurstCost(true) <= a.BurstCost(false) {
+		t.Error("RFO burst cost should exceed read burst cost")
+	}
+	want := sim.Time(float64(a.SerialCheck) * a.WriteMultiplier)
+	if got := a.SerialCost(true); got != want {
+		t.Errorf("SerialCost(write) = %v, want %v", got, want)
+	}
+}

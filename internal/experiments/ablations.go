@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"cxlmem/internal/core"
+	"cxlmem/internal/mem"
+	"cxlmem/internal/mlc"
+	"cxlmem/internal/stats"
+	"cxlmem/internal/telemetry"
+	"cxlmem/internal/topo"
+	"cxlmem/internal/workloads/dlrm"
+	"cxlmem/internal/workloads/spec"
+)
+
+// Ablation experiments (DESIGN.md §6): each one disables a single modeled
+// mechanism to show that it — and nothing else — produces the corresponding
+// observation of the paper.
+func init() {
+	register("ablation-llc", "disable the SNC LLC-isolation break for CXL lines (isolates O6)", runAblationLLC)
+	register("ablation-coherence", "disable remote-directory burst congestion (isolates O3)", runAblationCoherence)
+	register("ablation-estimator", "Caption with the full counter set vs IPC only", runAblationEstimator)
+}
+
+func runAblationLLC(o Options) *Table {
+	samples := o.scale(200000)
+	measure := func(breaks bool) float64 {
+		cfg := topo.DefaultConfig()
+		cfg.CXLBreaksSNCIsolation = breaks
+		sys := topo.NewSystem(cfg)
+		return mlc.BufferLatency(sys, sys.Path("CXL-A"), 32<<20, samples, o.Seed+3).Nanoseconds()
+	}
+	withBreak := measure(true)
+	without := measure(false)
+
+	// The same flag propagates into the DLRM LLC model via the hierarchy.
+	cfgOn := topo.DefaultConfig()
+	sysOn := topo.NewSystem(cfgOn)
+	cfgOff := cfgOn
+	cfgOff.CXLBreaksSNCIsolation = false
+	sysOff := topo.NewSystem(cfgOff)
+	d := dlrm.DefaultConfig()
+	ddr := dlrm.Run(sysOn, d, "CXL-A", 0, 8, dlrm.SNCAlone).QueriesPerSec
+	cxlOn := dlrm.Run(sysOn, d, "CXL-A", 100, 8, dlrm.SNCAlone).QueriesPerSec
+	cxlOff := dlrm.Run(sysOff, d, "CXL-A", 100, 8, dlrm.SNCAlone).QueriesPerSec
+
+	t := &Table{
+		ID:      "ablation-llc",
+		Title:   "O6 ablation: CXL victims confined to the accessor's SNC node",
+		Headers: []string{"Metric", "Isolation broken (hardware)", "Isolation kept (ablation)"},
+	}
+	t.AddRow("32MB buffer latency (ns)", f1(withBreak), f1(without))
+	t.AddRow("DLRM CXL100 vs DDR100", f2(cxlOn/ddr), f2(cxlOff/ddr))
+	t.AddNote("without the isolation break, CXL memory loses its LLC bonus: Table 3's 0.947 parity disappears")
+	return t
+}
+
+func runAblationCoherence(o Options) *Table {
+	withCong := topo.NewSystem(topo.MicrobenchConfig())
+	cfg := topo.MicrobenchConfig()
+	cfg.CoherenceCongestion = false
+	without := topo.NewSystem(cfg)
+
+	t := &Table{
+		ID:      "ablation-coherence",
+		Title:   "O3 ablation: remote-directory burst congestion on the UPI path",
+		Headers: []string{"Metric", "Congestion on (hardware)", "Congestion off (ablation)"},
+	}
+	rOn := withCong.Path("DDR5-R")
+	rOff := without.Path("DDR5-R")
+	aOn := withCong.Path("CXL-A")
+	t.AddRow("DDR5-R memo ld (ns)",
+		f1(rOn.ParallelLatency(mem.Load).Nanoseconds()),
+		f1(rOff.ParallelLatency(mem.Load).Nanoseconds()))
+	t.AddRow("parallel reduction vs MLC",
+		pct(1-rOn.ParallelLatency(mem.Load).Nanoseconds()/rOn.SerialLatency(mem.Load).Nanoseconds()),
+		pct(1-rOff.ParallelLatency(mem.Load).Nanoseconds()/rOff.SerialLatency(mem.Load).Nanoseconds()))
+	t.AddRow("CXL-A / DDR5-R memo ld",
+		f2(aOn.ParallelLatency(mem.Load).Nanoseconds()/rOn.ParallelLatency(mem.Load).Nanoseconds()),
+		f2(aOn.ParallelLatency(mem.Load).Nanoseconds()/rOff.ParallelLatency(mem.Load).Nanoseconds()))
+	t.AddNote("without congestion, emulated CXL amortizes as well as true CXL — the 76%% vs 79%% asymmetry (O3) vanishes")
+	return t
+}
+
+func runAblationEstimator(o Options) *Table {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	mix := []spec.Member{{Profile: spec.Roms, Instances: 8}, {Profile: spec.Mcf, Instances: 8}}
+	base := spec.Run(sys, mix, "CXL-A", 0).GIPS
+	eval := func(r float64) (float64, telemetry.Sample) {
+		res := spec.Run(sys, mix, "CXL-A", r)
+		return res.GIPS / base, res.Sample
+	}
+
+	// Full Table-4 estimator (fitted on the DLRM sweep).
+	full := fitDLRMEstimator(sys)
+	// IPC-only estimator: zero out the latency features by refitting on a
+	// sweep with the latency counters suppressed.
+	samples, thr := dlrmOperatingPoints(sys, 5)
+	ipcOnly := make([]telemetry.Sample, len(samples))
+	for i, s := range samples {
+		ipcOnly[i] = telemetry.Sample{IPC: s.IPC,
+			L1MissLatencyNS:  1, // constant features are excluded from the fit
+			DDRReadLatencyNS: 1}
+	}
+	// A constant feature makes the system singular, so perturb minimally.
+	for i := range ipcOnly {
+		ipcOnly[i].L1MissLatencyNS = 1 + 1e-9*float64(i)
+		ipcOnly[i].DDRReadLatencyNS = 1 + 1e-9*float64(i*i)
+	}
+	ipcEst, err := core.FitEstimator(ipcOnly, thr)
+	if err != nil {
+		panic(err)
+	}
+
+	run := func(est *core.Estimator, strip bool) (float64, float64) {
+		eval2 := eval
+		if strip {
+			eval2 = func(r float64) (float64, telemetry.Sample) {
+				m, s := eval(r)
+				s.L1MissLatencyNS = 1
+				s.DDRReadLatencyNS = 1
+				return m, s
+			}
+		}
+		_, thr, model := captionTimeline(est, eval2, 40)
+		return steadyMean(thr), stats.Pearson(model, thr)
+	}
+	fullThr, fullPear := run(full, false)
+	ipcThr, ipcPear := run(ipcEst, true)
+
+	t := &Table{
+		ID:      "ablation-estimator",
+		Title:   "Caption estimator: full Table-4 counters vs IPC only (roms+mcf)",
+		Headers: []string{"Estimator", "Steady throughput (norm.)", "Pearson(model, throughput)"},
+	}
+	t.AddRow("L1 lat + DDR lat + IPC", f2(fullThr), f2(fullPear))
+	t.AddRow("IPC only", f2(ipcThr), f2(ipcPear))
+	t.AddNote("the latency counters capture queueing at the controllers; IPC alone is a weaker, noisier signal (§6.1)")
+	return t
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cxlmem/internal/stats"
+	"cxlmem/internal/topo"
+	"cxlmem/internal/workloads/dlrm"
+	"cxlmem/internal/workloads/dsb"
+	"cxlmem/internal/workloads/fio"
+	"cxlmem/internal/workloads/kvstore"
+	"cxlmem/internal/workloads/ycsb"
+)
+
+func init() {
+	register("fig6a", "Redis YCSB-A p99 vs target QPS for 5 DDR:CXL ratios (Fig. 6a)", runFig6a)
+	register("fig6b", "DSB compose-posts p99: caching tier on DDR vs CXL (Fig. 6b)", dsbRunner("fig6b", dsb.ComposePosts, []float64{1000, 2000, 3000, 4000, 5000}))
+	register("fig6c", "DSB read-user-timelines p99 (Fig. 6c)", dsbRunner("fig6c", dsb.ReadUserTimelines, []float64{5000, 15000, 25000, 35000, 40000}))
+	register("fig6d", "DSB mixed-workload p99, incl. the CXL-wins window (Fig. 6d)", dsbRunner("fig6d", dsb.Mixed, []float64{2000, 5000, 8000, 9500, 11000}))
+	register("fig7", "Redis: TPP vs static 25% interleave latency distribution (Fig. 7)", runFig7)
+	register("fig8", "FIO p99 vs block size with page cache on DDR vs CXL (Fig. 8)", runFig8)
+	register("fig9a", "DLRM throughput vs threads for 7 allocation ratios (Fig. 9a)", runFig9a)
+	register("fig9b", "Redis max QPS, YCSB A/B/C/D/F x 5 ratios, normalized (Fig. 9b)", runFig9b)
+	register("table2", "DSB component working sets and placement (Table 2)", runTable2)
+	register("table3", "DLRM: 1 vs 4 SNC nodes, DDR vs CXL 100% (Table 3)", runTable3)
+}
+
+func kvConfig(o Options) kvstore.Config {
+	cfg := kvstore.DefaultConfig()
+	if o.Quick {
+		cfg.Keys = 100_000
+	}
+	return cfg
+}
+
+func runFig6a(o Options) *Table {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	cfg := kvConfig(o)
+	ops := o.scale(40000)
+	ratios := []float64{0, 25, 50, 75, 100}
+	qpss := []float64{25000, 45000, 65000, 85000}
+
+	t := &Table{
+		ID:      "fig6a",
+		Title:   "Redis YCSB-A (uniform keys) p99 latency (us)",
+		Headers: []string{"Target QPS", "DDR 100%", "CXL 25%", "CXL 50%", "CXL 75%", "CXL 100%"},
+	}
+	for _, q := range qpss {
+		row := []string{f0(q)}
+		for _, r := range ratios {
+			s := kvstore.New(sys, cfg, "CXL-A", r)
+			res := s.RunOpenLoop(ycsb.WorkloadA, ycsb.Uniform, q, ops)
+			row = append(row, f1(res.P99.Microseconds()))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper F1: p99 grows proportionally with the CXL share; CXL 100%% is +10%%/+73%%/+105%% at 25/45/85 kQPS")
+	return t
+}
+
+func dsbRunner(id string, w dsb.Workload, qpss []float64) func(Options) *Table {
+	return func(o Options) *Table {
+		sys := topo.NewSystem(topo.DefaultConfig())
+		reqs := o.scale(20000)
+		t := &Table{
+			ID:      id,
+			Title:   fmt.Sprintf("DSB %s p99 latency (ms)", w),
+			Headers: []string{"Target QPS", "DDR 100%", "CXL 100%"},
+		}
+		for _, q := range qpss {
+			d := dsb.Run(sys, w, "CXL-A", false, q, reqs, o.Seed)
+			c := dsb.Run(sys, w, "CXL-A", true, q, reqs, o.Seed)
+			t.AddRow(f0(q), f2(d.P99.Milliseconds()), f2(c.P99.Milliseconds()))
+		}
+		t.AddNote("paper F3: ms-scale services barely notice CXL latency; the mixed workload flips in its 5-11 kQPS window")
+		return t
+	}
+}
+
+func runFig7(o Options) *Table {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	cfg := kvConfig(o)
+	cfg.Keys = 50_000
+	// The measured window must span several TPP scan intervals (100 ms each
+	// at 40 kQPS) for the migration churn to show, so the op count has a
+	// floor even in quick mode.
+	ops := o.scale(40000)
+	if ops < 20000 {
+		ops = 20000
+	}
+	res := kvstore.RunWithTPP(sys, cfg, "CXL-A", 40000, ops)
+
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Redis latency: TPP vs statically interleaving 25% of pages to CXL",
+		Headers: []string{"Percentile", "TPP (us)", "Static 25% (us)"},
+	}
+	for _, p := range []float64{50, 90, 99} {
+		t.AddRow(fmt.Sprintf("p%.0f", p),
+			f1(stats.Percentile(res.TPP.Latencies, p)/1000),
+			f1(stats.Percentile(res.Static.Latencies, p)/1000))
+	}
+	t.AddRow("migrations", fmt.Sprintf("%d", res.Migrations), "0")
+	ratio := float64(res.TPP.P99) / float64(res.Static.P99)
+	t.AddNote("TPP/static p99 = %.2fx (paper: 2.74x / +174%%) — migration stalls hurt us-scale apps (F2)", ratio)
+	return t
+}
+
+func runFig8(o Options) *Table {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	ddr, cxl := fio.Sweep(sys, "CXL-A", fio.DefaultConfig(), o.scale(40000))
+	t := &Table{
+		ID:      "fig8",
+		Title:   "FIO p99 latency by block size, page cache on DDR vs CXL",
+		Headers: []string{"Block", "DDR p99 (us)", "CXL p99 (us)", "Increase", "Hit rate"},
+	}
+	for i := range ddr {
+		inc := (float64(cxl[i].P99)/float64(ddr[i].P99) - 1)
+		t.AddRow(fmt.Sprintf("%dK", ddr[i].BlockBytes>>10),
+			f1(ddr[i].P99.Microseconds()), f1(cxl[i].P99.Microseconds()),
+			pct(inc), pct(ddr[i].HitRate))
+	}
+	t.AddNote("paper: ~3%% at 4K, ~4.5%% at 8K, shrinking mid-range, rising again past 128K")
+	return t
+}
+
+func runFig9a(o Options) *Table {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	cfg := dlrm.DefaultConfig()
+	ratios := []float64{0, 17, 38, 50, 63, 83, 100}
+	t := &Table{
+		ID:      "fig9a",
+		Title:   "DLRM embedding-reduction throughput (M queries/s)",
+		Headers: []string{"Threads", "DDR100", "CXL17", "CXL38", "CXL50", "CXL63", "CXL83", "CXL100"},
+	}
+	for _, th := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
+		row := []string{fmt.Sprintf("%d", th)}
+		for _, r := range ratios {
+			res := dlrm.Run(sys, cfg, "CXL-A", r, th, dlrm.SNCAlone)
+			row = append(row, f2(res.QueriesPerSec/1e6))
+		}
+		t.AddRow(row...)
+	}
+	best, bestQ := dlrm.BestRatio(sys, cfg, "CXL-A", 32, dlrm.SNCAlone, 1)
+	base := dlrm.Run(sys, cfg, "CXL-A", 0, 32, dlrm.SNCAlone).QueriesPerSec
+	t.AddNote("optimum at 32 threads: %.0f%% CXL, +%.0f%% vs DDR-only (paper: 63%%, +88%%)", best, (bestQ/base-1)*100)
+	return t
+}
+
+func runFig9b(o Options) *Table {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	cfg := kvConfig(o)
+	samples := o.scale(20000)
+	ratios := []float64{0, 25, 50, 75, 100}
+	t := &Table{
+		ID:      "fig9b",
+		Title:   "Redis max sustainable QPS normalized to DDR 100%",
+		Headers: []string{"Workload", "DDR100", "CXL25", "CXL50", "CXL75", "CXL100"},
+	}
+	for _, w := range ycsb.Workloads() {
+		base := kvstore.New(sys, cfg, "CXL-A", 0).MaxQPS(w, ycsb.Uniform, samples)
+		row := []string{w.Name}
+		for _, r := range ratios {
+			q := kvstore.New(sys, cfg, "CXL-A", r).MaxQPS(w, ycsb.Uniform, samples)
+			row = append(row, f2(q/base))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: YCSB-A loses 8/15/22/30%% at 25/50/75/100%% CXL; read-only C is least sensitive")
+	return t
+}
+
+func runTable2(o Options) *Table {
+	t := &Table{
+		ID:      "table2",
+		Title:   "DSB social-network components (Table 2)",
+		Headers: []string{"Component", "Working set", "Intensiveness", "Allocated memory"},
+	}
+	t.AddRow("Frontend", "83 MB", "Compute", "DDR memory")
+	t.AddRow("Logic", "208 MB", "Compute", "DDR memory")
+	t.AddRow("Caching & Storage", "628 MB", "Memory", "CXL memory")
+	return t
+}
+
+func runTable3(o Options) *Table {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	cfg := dlrm.DefaultConfig()
+	const threads = 8
+	ddrAlone := dlrm.Run(sys, cfg, "CXL-A", 0, threads, dlrm.SNCAlone).QueriesPerSec
+	cxlAlone := dlrm.Run(sys, cfg, "CXL-A", 100, threads, dlrm.SNCAlone).QueriesPerSec
+	ddrCont := dlrm.Run(sys, cfg, "CXL-A", 0, threads, dlrm.SNCContended).QueriesPerSec
+	cxlCont := dlrm.Run(sys, cfg, "CXL-A", 100, threads, dlrm.SNCContended).QueriesPerSec
+
+	t := &Table{
+		ID:      "table3",
+		Title:   "DLRM throughput, normalized to 1-SNC-node DDR 100%",
+		Headers: []string{"Scenario", "DDR 100%", "CXL 100%"},
+	}
+	t.AddRow("1 SNC node", f2(ddrAlone/ddrAlone), f2(cxlAlone/ddrAlone))
+	t.AddRow("4 SNC nodes", f2(ddrCont/ddrAlone), f2(cxlCont/ddrAlone))
+	t.AddNote("paper: 1 / 0.947 / 1 / 0.504 — contention for the shared slices erases the CXL LLC bonus")
+	return t
+}

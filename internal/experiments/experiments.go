@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated system. Each experiment is a named driver
+// returning a Table whose rows mirror what the paper plots; the cxlbench
+// command and the repository-level benchmarks run them by ID.
+//
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Quick reduces sample counts so benchmarks stay fast; the full runs
+	// are the defaults.
+	Quick bool
+	// Seed perturbs the stochastic components.
+	Seed uint64
+}
+
+// DefaultOptions returns the full-fidelity settings.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// scale returns n, or a reduced count in quick mode.
+func (o Options) scale(n int) int {
+	if o.Quick {
+		n /= 10
+		if n < 100 {
+			n = 100
+		}
+	}
+	return n
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("fig3", "table1", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Headers labels the columns.
+	Headers []string
+	// Rows holds the data, already formatted.
+	Rows [][]string
+	// Notes carries qualitative checks and paper references.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render returns an aligned text rendering.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered driver.
+type Experiment struct {
+	// ID is the registry key.
+	ID string
+	// Desc is a one-line description.
+	Desc string
+	// Run executes the experiment.
+	Run func(Options) *Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, desc string, run func(Options) *Table) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = Experiment{ID: id, Desc: desc, Run: run}
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (try 'list')", id)
+	}
+	return e, nil
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns the sorted registry keys.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

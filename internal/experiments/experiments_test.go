@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick runs every experiment in quick mode once; the table contents carry
+// the assertions below.
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Quick = true
+	tbl := e.Run(opts)
+	if tbl.ID != id {
+		t.Fatalf("table id %q != %q", tbl.ID, id)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tbl
+}
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tbl.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4",
+		"fig3", "fig4a", "fig4b", "fig5",
+		"fig6a", "fig6b", "fig6c", "fig6d",
+		"fig7", "fig8", "fig9a", "fig9b",
+		"fig11a", "fig11b", "fig12a", "fig12b", "fig13",
+	}
+	want = append(want, "ablation-llc", "ablation-coherence", "ablation-estimator")
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := Get("fig99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	tbl := runQuick(t, "table1")
+	out := tbl.Render()
+	if !strings.Contains(out, "CXL-A") || !strings.Contains(out, "DDR5-R") {
+		t.Error("render missing device rows")
+	}
+	if !strings.Contains(out, "== table1") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig3Table(t *testing.T) {
+	tbl := runQuick(t, "fig3")
+	// Row order: DDR5-R, CXL-A, CXL-B, CXL-C. MLC column ascends.
+	prev := 0.0
+	for r := 0; r < 4; r++ {
+		v := cell(t, tbl, r, 1)
+		if v <= prev {
+			t.Errorf("MLC ratios not ascending at row %d: %v", r, v)
+		}
+		prev = v
+	}
+	// memo ld: CXL-A / DDR5-R ≈ 1.35.
+	ratio := cell(t, tbl, 1, 2) / cell(t, tbl, 0, 2)
+	if ratio < 1.2 || ratio > 1.5 {
+		t.Errorf("memo ld CXL-A/DDR5-R = %.2f", ratio)
+	}
+}
+
+func TestFig4aTable(t *testing.T) {
+	tbl := runQuick(t, "fig4a")
+	// All-read column matches the paper: 70/46/47/20.
+	want := []float64{70, 46, 47, 20}
+	for r, w := range want {
+		if v := cell(t, tbl, r, 1); v < w-1 || v > w+1 {
+			t.Errorf("all-read row %d = %v, want ~%v", r, v, w)
+		}
+	}
+	// CXL-A (row 1) exceeds DDR5-R (row 0) at 2:1.
+	if cell(t, tbl, 1, 3) <= cell(t, tbl, 0, 3) {
+		t.Error("CXL-A should beat DDR5-R at 2:1")
+	}
+}
+
+func TestFig5Table(t *testing.T) {
+	tbl := runQuick(t, "fig5")
+	ddr := cell(t, tbl, 0, 1)
+	cxl := cell(t, tbl, 1, 1)
+	if cxl >= ddr {
+		t.Errorf("CXL buffer latency %v should beat DDR %v", cxl, ddr)
+	}
+}
+
+func TestFig6aTable(t *testing.T) {
+	tbl := runQuick(t, "fig6a")
+	// p99 monotone across ratios in the highest-QPS row.
+	last := len(tbl.Rows) - 1
+	prev := 0.0
+	for c := 1; c <= 5; c++ {
+		v := cell(t, tbl, last, c)
+		if v < prev*0.9 {
+			t.Errorf("fig6a: p99 not growing with CXL share at col %d", c)
+		}
+		if v > prev {
+			prev = v
+		}
+	}
+	if cell(t, tbl, last, 5) < 1.3*cell(t, tbl, last, 1) {
+		t.Error("fig6a: CXL100 should be well above DDR100 at peak load")
+	}
+}
+
+func TestFig7Table(t *testing.T) {
+	tbl := runQuick(t, "fig7")
+	// p99 row: TPP > static.
+	if cell(t, tbl, 2, 1) <= cell(t, tbl, 2, 2) {
+		t.Error("fig7: TPP p99 should exceed static p99")
+	}
+}
+
+func TestFig8Table(t *testing.T) {
+	tbl := runQuick(t, "fig8")
+	for r := range tbl.Rows {
+		if cell(t, tbl, r, 2) < cell(t, tbl, r, 1) {
+			t.Errorf("fig8 row %d: CXL p99 below DDR", r)
+		}
+	}
+}
+
+func TestFig9aTable(t *testing.T) {
+	tbl := runQuick(t, "fig9a")
+	// At 32 threads (last row), some CXL ratio beats DDR-only.
+	last := len(tbl.Rows) - 1
+	ddr := cell(t, tbl, last, 1)
+	best := ddr
+	for c := 2; c <= 7; c++ {
+		if v := cell(t, tbl, last, c); v > best {
+			best = v
+		}
+	}
+	if best < 1.3*ddr {
+		t.Errorf("fig9a: best ratio (%.2f) should clearly beat DDR-only (%.2f)", best, ddr)
+	}
+}
+
+func TestFig9bTable(t *testing.T) {
+	tbl := runQuick(t, "fig9b")
+	// Workload A row: normalized QPS decreasing with CXL share.
+	for r := range tbl.Rows {
+		prev := 2.0
+		for c := 1; c <= 5; c++ {
+			v := cell(t, tbl, r, c)
+			if v > prev+0.02 {
+				t.Errorf("fig9b row %d: normalized QPS not non-increasing", r)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestTable3Values(t *testing.T) {
+	tbl := runQuick(t, "table3")
+	cxlAlone := cell(t, tbl, 0, 2)
+	cxlCont := cell(t, tbl, 1, 2)
+	if cxlAlone < 0.85 || cxlAlone > 1.05 {
+		t.Errorf("table3 alone = %v, paper 0.947", cxlAlone)
+	}
+	if cxlCont < 0.3 || cxlCont > 0.7 {
+		t.Errorf("table3 contended = %v, paper 0.504", cxlCont)
+	}
+}
+
+func TestFig11bInverseCorrelation(t *testing.T) {
+	tbl := runQuick(t, "fig11b")
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "Pearson") {
+		t.Fatal("fig11b should report a Pearson value")
+	}
+	// The note embeds the coefficient; it must be negative.
+	var v float64
+	if _, err := fmtSscan(tbl.Notes[0], &v); err != nil {
+		t.Fatalf("cannot parse Pearson from %q", tbl.Notes[0])
+	}
+	if v >= 0 {
+		t.Errorf("fig11b Pearson = %v, want negative (inverse relation)", v)
+	}
+}
+
+// fmtSscan extracts the first float after the '=' sign in a string.
+func fmtSscan(s string, out *float64) (int, error) {
+	if eq := strings.IndexByte(s, '='); eq >= 0 {
+		s = s[eq+1:]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '-' || (s[i] >= '0' && s[i] <= '9') {
+			j := i
+			for j < len(s) && (s[j] == '-' || s[j] == '.' || (s[j] >= '0' && s[j] <= '9')) {
+				j++
+			}
+			v, err := strconv.ParseFloat(s[i:j], 64)
+			if err == nil {
+				*out = v
+				return 1, nil
+			}
+		}
+	}
+	return 0, strconv.ErrSyntax
+}
+
+func TestFig12aPositiveSynchrony(t *testing.T) {
+	tbl := runQuick(t, "fig12a")
+	var v float64
+	if _, err := fmtSscan(tbl.Notes[0], &v); err != nil {
+		t.Fatal("cannot parse Pearson")
+	}
+	if v <= 0.3 {
+		t.Errorf("fig12a final Pearson = %v, want clearly positive", v)
+	}
+}
+
+func TestFig13CaptionCompetitive(t *testing.T) {
+	tbl := runQuick(t, "fig13")
+	for r := range tbl.Rows {
+		name := tbl.Rows[r][0]
+		ddr := cell(t, tbl, r, 1)
+		half := cell(t, tbl, r, 2)
+		caption := cell(t, tbl, r, 3)
+		best := ddr
+		if half > best {
+			best = half
+		}
+		if caption < 0.95*best {
+			t.Errorf("fig13 %s: Caption %.2f falls >5%% below best static %.2f", name, caption, best)
+		}
+	}
+}
+
+func TestOptionsScale(t *testing.T) {
+	o := DefaultOptions()
+	if o.scale(5000) != 5000 {
+		t.Error("full mode should not scale")
+	}
+	o.Quick = true
+	if got := o.scale(5000); got != 500 {
+		t.Errorf("quick scale = %d", got)
+	}
+	if got := o.scale(200); got != 100 {
+		t.Errorf("quick floor = %d", got)
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cxlmem/internal/mem"
+	"cxlmem/internal/memo"
+	"cxlmem/internal/mlc"
+	"cxlmem/internal/topo"
+)
+
+func init() {
+	register("table1", "system and CXL device configurations (Table 1)", runTable1)
+	register("fig3", "random access latency, MLC + memo, normalized to DDR5-L (Fig. 3)", runFig3)
+	register("fig4a", "MLC bandwidth efficiency across R/W mixes (Fig. 4a)", runFig4a)
+	register("fig4b", "memo bandwidth efficiency per instruction type (Fig. 4b)", runFig4b)
+	register("fig5", "SNC/LLC interaction: 32MB buffer latency (Fig. 5 / §4.3)", runFig5)
+}
+
+func runTable1(o Options) *Table {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	t := &Table{
+		ID:      "table1",
+		Title:   "System configurations",
+		Headers: []string{"Device", "CXL IP", "Memory technology", "Channels", "Peak GB/s", "Capacity GiB"},
+	}
+	for _, p := range sys.Paths() {
+		d := p.Device
+		t.AddRow(d.Name, d.Ctrl.Kind.String(), d.Tech.Name,
+			fmt.Sprintf("%d", d.Channels), f1(d.PeakGBs()),
+			fmt.Sprintf("%d", d.CapacityBytes>>30))
+	}
+	t.AddNote("2x Intel Xeon 6430 (SPR) model: 32 cores, 60 MB LLC, SNC-4 capable, 2.1 GHz")
+	return t
+}
+
+func runFig3(o Options) *Table {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	cfg := memo.DefaultConfig()
+	cfg.Trials = o.scale(cfg.Trials)
+
+	// Baselines: DDR5-L measured by each tool.
+	mlcBase := sys.DDRLocal.SerialLatency(mem.Load).Nanoseconds()
+	memoBase := map[mem.InstrType]float64{}
+	for _, ty := range mem.InstrTypes() {
+		memoBase[ty] = memo.InstrLatency(sys.DDRLocal, ty, cfg).Nanoseconds()
+	}
+
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Random access latency normalized to DDR5-L (per measurement tool)",
+		Headers: []string{"Device", "MLC", "memo ld", "memo nt-ld", "memo st", "memo nt-st"},
+	}
+	for _, p := range sys.ComparisonPaths() {
+		row := []string{p.Name, f2(p.SerialLatency(mem.Load).Nanoseconds() / mlcBase)}
+		for _, ty := range mem.InstrTypes() {
+			v := memo.InstrLatency(p, ty, cfg).Nanoseconds()
+			row = append(row, f2(v/memoBase[ty]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("absolute DDR5-L: MLC %.1f ns; memo ld %.1f ns", mlcBase, memoBase[mem.Load])
+	t.AddNote("paper: memo cuts DDR5-R latency 76%% and CXL-A 79%% vs MLC; CXL-A ld ~1.35x DDR5-R; CXL-B ~2x, CXL-C ~3x")
+	return t
+}
+
+func runFig4a(o Options) *Table {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	t := &Table{
+		ID:      "fig4a",
+		Title:   "MLC bandwidth efficiency (fraction of theoretical peak)",
+		Headers: []string{"Device", "All read", "3:1-RW", "2:1-RW", "1:1-RW"},
+	}
+	for _, p := range sys.ComparisonPaths() {
+		sweep := mlc.MixSweep(p)
+		row := []string{p.Name}
+		for _, m := range mem.MixPoints() {
+			row = append(row, pct(sweep[m].Efficiency))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper O4: all-read 70/46/47/20%%; CXL-A overtakes DDR5-R as the write share grows (+23 pts at 2:1)")
+	return t
+}
+
+func runFig4b(o Options) *Table {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	t := &Table{
+		ID:      "fig4b",
+		Title:   "memo bandwidth efficiency per instruction type",
+		Headers: []string{"Device", "ld", "nt-ld", "st", "nt-st"},
+	}
+	for _, p := range sys.ComparisonPaths() {
+		bw := memo.AllBandwidths(p)
+		row := []string{p.Name}
+		for _, ty := range mem.InstrTypes() {
+			row = append(row, pct(bw[ty].Efficiency))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper O5: st drops vs ld by 74/31/59/15%%; CXL-A st beats DDR5-R st by ~12 pts; nt-st gap shrinks to ~6 pts")
+	return t
+}
+
+func runFig5(o Options) *Table {
+	const buf = 32 << 20
+	samples := o.scale(200000)
+	measure := func(device string) float64 {
+		sys := topo.NewSystem(topo.DefaultConfig()) // SNC on
+		return mlc.BufferLatency(sys, sys.Path(device), buf, samples, o.Seed+3).Nanoseconds()
+	}
+	ddr := measure("DDR5-L")
+	cxl := measure("CXL-A")
+
+	t := &Table{
+		ID:      "fig5",
+		Title:   "SNC mode: average latency of a 32 MB random buffer",
+		Headers: []string{"Placement", "Avg latency (ns)", "Effective LLC"},
+	}
+	t.AddRow("DDR5-L (SNC-confined)", f1(ddr), "15 MB (node slices)")
+	t.AddRow("CXL-A (isolation broken)", f1(cxl), "60 MB (all slices)")
+	t.AddNote("paper §4.3: 76.8 ns vs 41 ns — CXL-homed data enjoys 2-4x the LLC in SNC mode (O6)")
+	return t
+}

@@ -1,0 +1,116 @@
+// Package link models the point-to-point interconnects of the evaluated
+// system: the inter-socket UPI link used by the NUMA emulation of CXL memory,
+// the CXL/PCIe 5.0 link to true CXL devices, and the on-die mesh.
+//
+// The paper's observation O1 hinges on one structural property — all of these
+// links are full duplex, so a stream of independent requests can overlap
+// command (outbound) and data (inbound) transfers — while a serialized
+// pointer chase pays the full round trip on every access. The Link type
+// exposes both views: Traverse for one direction of a serialized access and
+// Slot for the per-request occupancy under pipelined, parallel access.
+package link
+
+import (
+	"fmt"
+
+	"cxlmem/internal/sim"
+)
+
+// Link is a full-duplex point-to-point interconnect.
+type Link struct {
+	// Name identifies the link in diagnostics ("UPI", "CXL x8", "mesh").
+	Name string
+	// Propagation is the one-way traversal latency, including the physical
+	// layer, link layer and transaction layer of the protocol stack.
+	Propagation sim.Time
+	// BandwidthPerDir is the usable bandwidth of each direction in bytes
+	// per nanosecond (numerically equal to GB/s).
+	BandwidthPerDir float64
+	// FullDuplex reports whether the two directions transfer concurrently.
+	// Every link in the evaluated system is full duplex; the flag exists so
+	// ablation experiments can model a hypothetical half-duplex interconnect.
+	FullDuplex bool
+}
+
+// Validate reports a descriptive error for physically meaningless parameters.
+func (l *Link) Validate() error {
+	if l.Propagation < 0 {
+		return fmt.Errorf("link %s: negative propagation %v", l.Name, l.Propagation)
+	}
+	if l.BandwidthPerDir <= 0 {
+		return fmt.Errorf("link %s: non-positive bandwidth %v", l.Name, l.BandwidthPerDir)
+	}
+	return nil
+}
+
+// Traverse returns the latency for moving payload bytes across one direction
+// of the link as part of a serialized (dependent) access: propagation plus
+// serialization of the payload.
+func (l *Link) Traverse(payloadBytes int) sim.Time {
+	return l.Propagation + l.serialization(payloadBytes)
+}
+
+// RoundTrip returns the latency of a command out / data back exchange for a
+// serialized access. On a full-duplex link the two directions do not contend
+// with each other, but a dependent access still pays both traversals end to
+// end. On a half-duplex link an additional turnaround is charged.
+func (l *Link) RoundTrip(cmdBytes, dataBytes int) sim.Time {
+	t := l.Traverse(cmdBytes) + l.Traverse(dataBytes)
+	if !l.FullDuplex {
+		t += l.Propagation / 2 // bus turnaround penalty
+	}
+	return t
+}
+
+// Slot returns the steady-state per-request occupancy of the link for a
+// pipelined stream of independent requests moving payloadBytes in one
+// direction. This is what bounds bandwidth, not latency.
+func (l *Link) Slot(payloadBytes int) sim.Time {
+	return l.serialization(payloadBytes)
+}
+
+func (l *Link) serialization(payloadBytes int) sim.Time {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	ns := float64(payloadBytes) / l.BandwidthPerDir
+	return sim.FromNanoseconds(ns)
+}
+
+// UPI returns the inter-socket UPI link of the dual-socket SPR system.
+// ~20 ns per traversal and roughly 62 GB/s usable per direction for the
+// 3-link x24 configuration (the emulated-CXL experiments traverse it for
+// every access to the remote socket's DRAM).
+func UPI() *Link {
+	return &Link{
+		Name:            "UPI",
+		Propagation:     20 * sim.Nanosecond,
+		BandwidthPerDir: 62.4,
+		FullDuplex:      true,
+	}
+}
+
+// CXLx8 returns a CXL 1.1 link over PCIe 5.0 x8 — the configuration of the
+// paper's CXL memory devices: 32 GB/s raw per direction and ~40 ns port
+// latency per traversal through the Flex Bus PHY + CXL link/transaction
+// layers (paper §1 cites ~40 ns for the PCIe 5.0 stack).
+func CXLx8() *Link {
+	return &Link{
+		Name:            "CXL x8",
+		Propagation:     40 * sim.Nanosecond,
+		BandwidthPerDir: 32,
+		FullDuplex:      true,
+	}
+}
+
+// Mesh returns the on-die mesh segment between a core's CHA and a memory
+// controller or the CXL root port: a couple of nanoseconds and effectively
+// unconstrained bandwidth at the granularity we model.
+func Mesh() *Link {
+	return &Link{
+		Name:            "mesh",
+		Propagation:     2 * sim.Nanosecond,
+		BandwidthPerDir: 400,
+		FullDuplex:      true,
+	}
+}

@@ -1,0 +1,119 @@
+package mem
+
+import "cxlmem/internal/sim"
+
+// Standard device profiles, calibrated against Table 1 and Figure 4 of the
+// paper. The efficiency tables encode the measured "bandwidth efficiency"
+// values (fraction of theoretical maximum actually delivered); the latency
+// fields encode controller pipeline costs consistent with Figure 3. See
+// DESIGN.md §1 for the calibrated-vs-emergent split.
+
+const gib = int64(1) << 30
+
+// hostMixEff / hostInstrEff: socket-local DDR5 through the CPU's own memory
+// controllers. The paper does not plot DDR5-L in Fig. 4 (it is the
+// normalization baseline elsewhere); values follow well-known SPR behaviour:
+// ~85 % of peak for streaming reads, lower for temporal stores because each
+// one moves two lines (RFO read + writeback).
+func hostController() Controller {
+	return Controller{
+		Kind:        HostMC,
+		PortLatency: 6 * sim.Nanosecond,
+		MixEff:      [numMixPoints]float64{0.85, 0.70, 0.65, 0.60},
+		InstrEff:    [numInstrTypes]float64{0.85, 0.87, 0.35, 0.75},
+	}
+}
+
+// DDR5Local returns the socket-local DDR5 pool with the given number of
+// 4800 MT/s channels (8 for the whole socket, 2 per SNC node).
+func DDR5Local(channels int) *Device {
+	return &Device{
+		Name:          "DDR5-L",
+		Tech:          DDR54800,
+		Channels:      channels,
+		Ctrl:          hostController(),
+		CapacityBytes: int64(channels) * 16 * gib,
+	}
+}
+
+// DDR5Remote returns the emulated CXL memory: one DDR5-4800 channel on the
+// remote socket, reached over UPI with remote-directory coherence.
+// Efficiency values are Fig. 4 ("DDR5-R"): 70 % all-read, degrading steeply
+// as the write share grows because every RFO pays the remote coherence
+// round trip.
+func DDR5Remote() *Device {
+	return &Device{
+		Name:     "DDR5-R",
+		Tech:     DDR54800,
+		Channels: 1,
+		Ctrl: Controller{
+			Kind:        HostMC,
+			PortLatency: 6 * sim.Nanosecond,
+			MixEff:      [numMixPoints]float64{0.70, 0.55, 0.40, 0.35},
+			InstrEff:    [numInstrTypes]float64{0.70, 0.72, 0.182, 0.66},
+		},
+		CapacityBytes: 16 * gib,
+	}
+}
+
+// CXLA returns device CXL-A: ASIC (hard IP) controller in front of one
+// DDR5-4800 channel — the most balanced device, used for all application
+// experiments (§5). Its controller delivers only 46 % of peak for pure reads
+// but is unusually good at interleaved read/write traffic (Fig. 4a: 63 % at
+// 2:1, 23 points above DDR5-R).
+func CXLA() *Device {
+	return &Device{
+		Name:     "CXL-A",
+		Tech:     DDR54800,
+		Channels: 1,
+		Ctrl: Controller{
+			Kind:        HardIP,
+			PortLatency: 50 * sim.Nanosecond,
+			MixEff:      [numMixPoints]float64{0.46, 0.60, 0.63, 0.60},
+			InstrEff:    [numInstrTypes]float64{0.46, 0.46, 0.317, 0.60},
+		},
+		CapacityBytes: 64 * gib,
+	}
+}
+
+// CXLB returns device CXL-B: ASIC (hard IP) controller with two DDR4-2400
+// channels. Its mature DDR4 controller edges out CXL-A for read-only and
+// nt-st streams (Fig. 4b) despite higher latency.
+func CXLB() *Device {
+	return &Device{
+		Name:     "CXL-B",
+		Tech:     DDR42400,
+		Channels: 2,
+		Ctrl: Controller{
+			Kind:        HardIP,
+			PortLatency: 110 * sim.Nanosecond,
+			MixEff:      [numMixPoints]float64{0.47, 0.50, 0.45, 0.45},
+			InstrEff:    [numInstrTypes]float64{0.47, 0.47, 0.193, 0.66},
+		},
+		CapacityBytes: 128 * gib,
+	}
+}
+
+// CXLC returns device CXL-C: FPGA (soft IP) controller with one DDR4-3200
+// channel. The soft-logic protocol pipeline adds large latency and caps
+// efficiency near 20 % (Fig. 3, Fig. 4).
+func CXLC() *Device {
+	return &Device{
+		Name:     "CXL-C",
+		Tech:     DDR43200,
+		Channels: 1,
+		Ctrl: Controller{
+			Kind:        SoftIP,
+			PortLatency: 215 * sim.Nanosecond,
+			MixEff:      [numMixPoints]float64{0.20, 0.22, 0.24, 0.25},
+			InstrEff:    [numInstrTypes]float64{0.21, 0.21, 0.178, 0.46},
+		},
+		CapacityBytes: 64 * gib,
+	}
+}
+
+// AllCXLDevices returns fresh instances of the three CXL devices in Table-1
+// order.
+func AllCXLDevices() []*Device {
+	return []*Device{CXLA(), CXLB(), CXLC()}
+}

@@ -1,0 +1,96 @@
+package memo
+
+import (
+	"math"
+	"testing"
+
+	"cxlmem/internal/mem"
+	"cxlmem/internal/topo"
+)
+
+func TestInstrLatencyMedianRejectsOutliers(t *testing.T) {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	p := sys.Path("CXL-A")
+	cfg := DefaultConfig()
+	got := InstrLatency(p, mem.Load, cfg).Nanoseconds()
+	want := p.ParallelLatency(mem.Load).Nanoseconds()
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("median latency %.1f ns deviates from ideal %.1f ns", got, want)
+	}
+}
+
+func TestInstrLatencyDeterministic(t *testing.T) {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	p := sys.Path("DDR5-R")
+	a := InstrLatency(p, mem.Store, DefaultConfig())
+	b := InstrLatency(p, mem.Store, DefaultConfig())
+	if a != b {
+		t.Errorf("same-seed measurements differ: %v vs %v", a, b)
+	}
+}
+
+func TestAllLatenciesShape(t *testing.T) {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	for _, p := range sys.Paths() {
+		lat := AllLatencies(p, DefaultConfig())
+		if len(lat) != 4 {
+			t.Fatalf("%s: %d instruction types", p.Name, len(lat))
+		}
+		if lat[mem.Store] <= lat[mem.Load] {
+			t.Errorf("%s: st should exceed ld", p.Name)
+		}
+		if lat[mem.NTStore] >= lat[mem.Store] {
+			t.Errorf("%s: nt-st should beat st", p.Name)
+		}
+	}
+}
+
+func TestFig3MemoRelations(t *testing.T) {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	cfg := DefaultConfig()
+	r := InstrLatency(sys.Path("DDR5-R"), mem.Load, cfg).Nanoseconds()
+	a := InstrLatency(sys.Path("CXL-A"), mem.Load, cfg).Nanoseconds()
+	b := InstrLatency(sys.Path("CXL-B"), mem.Load, cfg).Nanoseconds()
+	c := InstrLatency(sys.Path("CXL-C"), mem.Load, cfg).Nanoseconds()
+	if ratio := a / r; math.Abs(ratio-1.35) > 0.12 {
+		t.Errorf("CXL-A/DDR5-R ld = %.2f, want ~1.35 (§4.1)", ratio)
+	}
+	if ratio := b / r; math.Abs(ratio-2.0) > 0.3 {
+		t.Errorf("CXL-B/DDR5-R ld = %.2f, want ~2 (O2)", ratio)
+	}
+	if ratio := c / r; math.Abs(ratio-3.0) > 0.4 {
+		t.Errorf("CXL-C/DDR5-R ld = %.2f, want ~3 (O2)", ratio)
+	}
+	// nt-st: CXL-A ~25% below DDR5-R.
+	ntA := InstrLatency(sys.Path("CXL-A"), mem.NTStore, cfg).Nanoseconds()
+	ntR := InstrLatency(sys.Path("DDR5-R"), mem.NTStore, cfg).Nanoseconds()
+	if red := 1 - ntA/ntR; red < 0.12 || red > 0.38 {
+		t.Errorf("nt-st reduction CXL-A vs DDR5-R = %.2f, want ~0.25", red)
+	}
+}
+
+func TestInstrBandwidthMatchesEfficiencyTables(t *testing.T) {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	for _, p := range sys.ComparisonPaths() {
+		bw := AllBandwidths(p)
+		for _, ty := range mem.InstrTypes() {
+			if math.Abs(bw[ty].Efficiency-p.Device.EffInstr(ty)) > 1e-12 {
+				t.Errorf("%s %v efficiency mismatch", p.Name, ty)
+			}
+			want := p.Device.PeakGBs() * p.Device.EffInstr(ty)
+			if math.Abs(bw[ty].AchievedGBs-want) > 1e-9 {
+				t.Errorf("%s %v achieved mismatch", p.Name, ty)
+			}
+		}
+	}
+}
+
+func TestInstrLatencyPanicsOnBadTrials(t *testing.T) {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	InstrLatency(sys.DDRLocal, mem.Load, Config{Trials: 0})
+}

@@ -1,0 +1,109 @@
+// Package mlc reimplements the measurement semantics of Intel Memory Latency
+// Checker (MLC) against the simulated system (paper §3.2):
+//
+//   - idle latency: a pointer chase — each load's address depends on the
+//     previous load's value, so accesses are fully serialized — over a buffer
+//     larger than the total LLC, forcing every access to memory;
+//   - loaded bandwidth: all cores issue sequential streams at a given
+//     read:write ratio, measuring the delivered fraction of the device's
+//     theoretical peak (the paper's "bandwidth efficiency" metric, Fig. 4a);
+//   - buffer latency: average latency of random accesses within a buffer of
+//     a chosen size, which exposes the SNC/LLC interaction of §4.3 (Fig. 5).
+package mlc
+
+import (
+	"cxlmem/internal/cache"
+	"cxlmem/internal/mem"
+	"cxlmem/internal/sim"
+	"cxlmem/internal/topo"
+)
+
+// IdleLatency measures the serialized (pointer-chase) load latency to the
+// device behind path. The chase walks a shuffled permutation over a buffer
+// twice the LLC so that, in steady state, essentially every access misses
+// the hierarchy and pays the full serial path latency.
+func IdleLatency(sys *topo.System, path *topo.Path, steps int, seed uint64) sim.Time {
+	if steps <= 0 {
+		panic("mlc: non-positive step count")
+	}
+	hier := sys.Hier
+	home := sys.HomeFor(path, 0)
+	bufBytes := int64(2) * int64(hier.Config().Cores) * hier.Config().LLCSliceBytes
+	lines := bufBytes / cache.LineBytes
+
+	rng := sim.NewRng(seed)
+	var total sim.Time
+	// Random chase: the next address is a pseudo-random function of the
+	// step, matching MLC's shuffled-pointer buffer initialization.
+	addr := uint64(rng.Int63n(lines)) * cache.LineBytes
+	for i := 0; i < steps; i++ {
+		level := hier.Access(0, addr, home, false)
+		total += path.HitLatency(level)
+		addr = uint64(rng.Int63n(lines)) * cache.LineBytes
+	}
+	return total / sim.Time(steps)
+}
+
+// BufferLatency measures the average latency of random accesses within a
+// buffer of bufBytes homed on path's device — the §4.3 experiment: a 32 MB
+// buffer fits the socket-wide LLC when homed on CXL memory but overflows a
+// single SNC node's slices when homed on local DDR.
+func BufferLatency(sys *topo.System, path *topo.Path, bufBytes int64, samples int, seed uint64) sim.Time {
+	if samples <= 0 || bufBytes < cache.LineBytes {
+		panic("mlc: invalid buffer latency parameters")
+	}
+	hier := sys.Hier
+	home := sys.HomeFor(path, 0)
+	lines := bufBytes / cache.LineBytes
+	rng := sim.NewRng(seed)
+
+	// Warm the hierarchy: several passes' worth of random touches.
+	warm := int(lines) * 6
+	for i := 0; i < warm; i++ {
+		hier.Access(0, uint64(rng.Int63n(lines))*cache.LineBytes, home, false)
+	}
+	var total sim.Time
+	for i := 0; i < samples; i++ {
+		level := hier.Access(0, uint64(rng.Int63n(lines))*cache.LineBytes, home, false)
+		total += path.HitLatency(level)
+	}
+	return total / sim.Time(samples)
+}
+
+// BandwidthResult reports one loaded-bandwidth measurement.
+type BandwidthResult struct {
+	// AchievedGBs is the delivered bandwidth.
+	AchievedGBs float64
+	// Efficiency is AchievedGBs over the device's theoretical peak — the
+	// y-axis of Fig. 4.
+	Efficiency float64
+}
+
+// LoadedBandwidth measures the maximum sequential bandwidth at the given
+// read:write mix: every core streams, offering far more demand than any
+// device can serve, so the result is capacity at that mix.
+func LoadedBandwidth(path *topo.Path, mix mem.MixPoint) BandwidthResult {
+	dev := path.Device
+	window := sim.Millisecond
+	wf := mix.WriteFraction()
+	// Offer 10× the theoretical peak so the device saturates.
+	offered := dev.PeakGBs() * window.Nanoseconds() * 10
+	served := dev.Serve(mem.Demand{
+		ReadBytes:  offered * (1 - wf),
+		WriteBytes: offered * wf,
+	}, window)
+	achieved := served.Total() / window.Nanoseconds()
+	return BandwidthResult{
+		AchievedGBs: achieved,
+		Efficiency:  achieved / dev.PeakGBs(),
+	}
+}
+
+// MixSweep measures loaded bandwidth at every Fig. 4a mix point.
+func MixSweep(path *topo.Path) map[mem.MixPoint]BandwidthResult {
+	out := make(map[mem.MixPoint]BandwidthResult, 4)
+	for _, m := range mem.MixPoints() {
+		out[m] = LoadedBandwidth(path, m)
+	}
+	return out
+}

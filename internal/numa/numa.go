@@ -1,0 +1,281 @@
+// Package numa models the OS view of the evaluated system's memory: NUMA
+// nodes backed by memory devices, a paged address space, and the allocation
+// policies the paper drives through numactl and the N:M weighted-interleave
+// mempolicy patch (§5): membind, preferred, and weighted interleave with a
+// runtime-adjustable percentage of pages allocated to CXL memory — the knob
+// Caption turns.
+package numa
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageBytes is the OS page size.
+const PageBytes = 4096
+
+// Node is one NUMA node: a name and the device it is backed by. The zero
+// node in every experiment is local DDR; CXL memory appears as a CPU-less
+// node, exactly as the real kernel exposes it.
+type Node struct {
+	// ID is the node number used by policies.
+	ID int
+	// Name matches the backing device ("DDR5-L", "CXL-A", ...).
+	Name string
+	// CapacityPages bounds allocation; 0 means unbounded.
+	CapacityPages int64
+}
+
+// Policy chooses the node for each newly allocated page.
+type Policy interface {
+	// Next returns the node ID for the next page allocation.
+	Next() int
+}
+
+// Membind always allocates from a single node (numactl --membind).
+type Membind struct {
+	// Node is the target node ID.
+	Node int
+}
+
+// Next implements Policy.
+func (m *Membind) Next() int { return m.Node }
+
+// Preferred allocates from the preferred node until its capacity is
+// exhausted, then falls back through the remaining order (numactl
+// --preferred).
+type Preferred struct {
+	// Order lists node IDs from most to least preferred.
+	Order []int
+	// Remaining tracks per-node free pages, indexed by node ID.
+	Remaining map[int]int64
+}
+
+// NewPreferred builds a preferred policy over the given nodes in order.
+func NewPreferred(nodes []*Node) *Preferred {
+	p := &Preferred{Remaining: make(map[int]int64)}
+	for _, n := range nodes {
+		p.Order = append(p.Order, n.ID)
+		cap := n.CapacityPages
+		if cap == 0 {
+			cap = 1 << 62
+		}
+		p.Remaining[n.ID] = cap
+	}
+	return p
+}
+
+// Next implements Policy.
+func (p *Preferred) Next() int {
+	for _, id := range p.Order {
+		if p.Remaining[id] > 0 {
+			p.Remaining[id]--
+			return id
+		}
+	}
+	// Everything full: overcommit the last node, like the kernel falling
+	// back to reclaim on the final candidate.
+	return p.Order[len(p.Order)-1]
+}
+
+// Weighted implements the N:M weighted-interleave mempolicy (the kernel
+// patch the paper uses to place, e.g., 25 % of pages on the CXL node). It is
+// safe for concurrent use and the weights can be changed at runtime: changes
+// affect only future allocations, exactly like the real mempolicy — this is
+// the interface Caption's tuner drives.
+type Weighted struct {
+	mu      sync.Mutex
+	weights []float64
+	credit  []float64
+}
+
+// NewWeighted creates a weighted-interleave policy over len(weights) nodes.
+// Weights are relative; they must be non-negative with a positive sum.
+func NewWeighted(weights []float64) *Weighted {
+	w := &Weighted{}
+	if err := w.SetWeights(weights); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// NewDDRCXLSplit builds the common two-node policy with the given percentage
+// of pages on the CXL node (node 1); the remainder goes to DDR (node 0).
+func NewDDRCXLSplit(cxlPercent float64) *Weighted {
+	if cxlPercent < 0 || cxlPercent > 100 {
+		panic(fmt.Sprintf("numa: CXL percent %v out of [0,100]", cxlPercent))
+	}
+	return NewWeighted([]float64{100 - cxlPercent, cxlPercent})
+}
+
+// SetWeights atomically replaces the weights (future allocations only).
+func (w *Weighted) SetWeights(weights []float64) error {
+	if len(weights) == 0 {
+		return fmt.Errorf("numa: empty weights")
+	}
+	sum := 0.0
+	for i, v := range weights {
+		if v < 0 {
+			return fmt.Errorf("numa: negative weight %v at node %d", v, i)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return fmt.Errorf("numa: weights sum to zero")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.weights = make([]float64, len(weights))
+	for i, v := range weights {
+		w.weights[i] = v / sum
+	}
+	if len(w.credit) != len(weights) {
+		w.credit = make([]float64, len(weights))
+	}
+	return nil
+}
+
+// SetCXLPercent adjusts a two-node policy's CXL share (node 1).
+func (w *Weighted) SetCXLPercent(p float64) error {
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	return w.SetWeights([]float64{100 - p, p})
+}
+
+// CXLPercent reports the current CXL share of a two-node policy.
+func (w *Weighted) CXLPercent() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.weights) < 2 {
+		return 0
+	}
+	return w.weights[1] * 100
+}
+
+// Next implements Policy with deterministic largest-credit scheduling: over
+// any window of allocations the realized split tracks the weights exactly
+// (a smooth weighted round-robin rather than a random draw).
+func (w *Weighted) Next() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	best := -1
+	for i := range w.weights {
+		w.credit[i] += w.weights[i]
+		if w.weights[i] > 0 && (best < 0 || w.credit[i] > w.credit[best]) {
+			best = i
+		}
+	}
+	w.credit[best]--
+	return best
+}
+
+// Space is a paged address space with per-page node placement.
+type Space struct {
+	nodes  []*Node
+	policy Policy
+	pages  []uint8 // node ID per page
+	counts []int64 // pages per node
+}
+
+// NewSpace creates an empty address space over the given nodes with the
+// given allocation policy.
+func NewSpace(nodes []*Node, policy Policy) *Space {
+	if len(nodes) == 0 || len(nodes) > 256 {
+		panic("numa: need between 1 and 256 nodes")
+	}
+	for i, n := range nodes {
+		if n.ID != i {
+			panic(fmt.Sprintf("numa: node %d has ID %d; IDs must be dense", i, n.ID))
+		}
+	}
+	if policy == nil {
+		panic("numa: nil policy")
+	}
+	return &Space{nodes: nodes, policy: policy, counts: make([]int64, len(nodes))}
+}
+
+// Nodes returns the node set.
+func (s *Space) Nodes() []*Node { return s.nodes }
+
+// SetPolicy replaces the allocation policy for future allocations.
+func (s *Space) SetPolicy(p Policy) {
+	if p == nil {
+		panic("numa: nil policy")
+	}
+	s.policy = p
+}
+
+// Alloc extends the space by n pages placed per the policy and returns the
+// index of the first new page.
+func (s *Space) Alloc(n int) int {
+	if n < 0 {
+		panic("numa: negative allocation")
+	}
+	first := len(s.pages)
+	for i := 0; i < n; i++ {
+		id := s.policy.Next()
+		if id < 0 || id >= len(s.nodes) {
+			panic(fmt.Sprintf("numa: policy returned invalid node %d", id))
+		}
+		s.pages = append(s.pages, uint8(id))
+		s.counts[id]++
+	}
+	return first
+}
+
+// Pages returns the number of allocated pages.
+func (s *Space) Pages() int { return len(s.pages) }
+
+// Bytes returns the allocated bytes.
+func (s *Space) Bytes() int64 { return int64(len(s.pages)) * PageBytes }
+
+// NodeOfPage returns the node holding page i.
+func (s *Space) NodeOfPage(i int) int {
+	return int(s.pages[i])
+}
+
+// NodeOfAddr returns the node holding the byte address (addresses start at 0).
+func (s *Space) NodeOfAddr(addr uint64) int {
+	return s.NodeOfPage(int(addr / PageBytes))
+}
+
+// Fraction returns the fraction of pages on the given node (0 when empty).
+func (s *Space) Fraction(node int) float64 {
+	if len(s.pages) == 0 {
+		return 0
+	}
+	return float64(s.counts[node]) / float64(len(s.pages))
+}
+
+// PagesOn returns the number of pages on the given node.
+func (s *Space) PagesOn(node int) int64 { return s.counts[node] }
+
+// Move migrates page i to the given node (the mechanism under TPP).
+func (s *Space) Move(i, to int) {
+	if to < 0 || to >= len(s.nodes) {
+		panic(fmt.Sprintf("numa: move to invalid node %d", to))
+	}
+	from := int(s.pages[i])
+	if from == to {
+		return
+	}
+	s.pages[i] = uint8(to)
+	s.counts[from]--
+	s.counts[to]++
+}
+
+// PagesOnNode returns the indices of every page on the given node —
+// O(pages); used by migration policies, not hot paths.
+func (s *Space) PagesOnNode(node int) []int {
+	var out []int
+	for i, p := range s.pages {
+		if int(p) == node {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package numa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func twoNodes() []*Node {
+	return []*Node{
+		{ID: 0, Name: "DDR5-L"},
+		{ID: 1, Name: "CXL-A"},
+	}
+}
+
+func TestMembind(t *testing.T) {
+	s := NewSpace(twoNodes(), &Membind{Node: 1})
+	s.Alloc(100)
+	if s.PagesOn(1) != 100 || s.PagesOn(0) != 0 {
+		t.Errorf("membind placed pages on wrong node: DDR=%d CXL=%d", s.PagesOn(0), s.PagesOn(1))
+	}
+	if s.Fraction(1) != 1 {
+		t.Errorf("fraction = %v", s.Fraction(1))
+	}
+}
+
+func TestPreferredSpillsOver(t *testing.T) {
+	nodes := []*Node{
+		{ID: 0, Name: "DDR5-L", CapacityPages: 10},
+		{ID: 1, Name: "CXL-A"},
+	}
+	p := NewPreferred(nodes)
+	s := NewSpace(nodes, p)
+	s.Alloc(25)
+	if s.PagesOn(0) != 10 {
+		t.Errorf("preferred node got %d pages, want 10", s.PagesOn(0))
+	}
+	if s.PagesOn(1) != 15 {
+		t.Errorf("fallback node got %d pages, want 15", s.PagesOn(1))
+	}
+}
+
+func TestPreferredOvercommitsLastNode(t *testing.T) {
+	nodes := []*Node{
+		{ID: 0, Name: "a", CapacityPages: 1},
+		{ID: 1, Name: "b", CapacityPages: 1},
+	}
+	p := NewPreferred(nodes)
+	s := NewSpace(nodes, p)
+	s.Alloc(5)
+	if s.PagesOn(0) != 1 || s.PagesOn(1) != 4 {
+		t.Errorf("overcommit distribution: %d/%d", s.PagesOn(0), s.PagesOn(1))
+	}
+}
+
+func TestWeightedExactSplit(t *testing.T) {
+	for _, pct := range []float64{0, 25, 50, 63, 75, 100} {
+		w := NewDDRCXLSplit(pct)
+		s := NewSpace(twoNodes(), w)
+		s.Alloc(10000)
+		got := s.Fraction(1) * 100
+		if math.Abs(got-pct) > 0.5 {
+			t.Errorf("cxl=%v%%: realized %v%%", pct, got)
+		}
+	}
+}
+
+func TestWeightedSmoothness(t *testing.T) {
+	// The deterministic scheduler must not bunch allocations: for a 50:50
+	// split, any window of 10 pages holds 5±1 per node.
+	w := NewDDRCXLSplit(50)
+	s := NewSpace(twoNodes(), w)
+	s.Alloc(1000)
+	for start := 0; start+10 <= 1000; start += 10 {
+		cxl := 0
+		for i := start; i < start+10; i++ {
+			if s.NodeOfPage(i) == 1 {
+				cxl++
+			}
+		}
+		if cxl < 4 || cxl > 6 {
+			t.Fatalf("window at %d has %d CXL pages, want 5±1", start, cxl)
+		}
+	}
+}
+
+func TestWeightedRuntimeChangeAffectsOnlyNewPages(t *testing.T) {
+	w := NewDDRCXLSplit(0)
+	s := NewSpace(twoNodes(), w)
+	s.Alloc(100)
+	if err := w.SetCXLPercent(100); err != nil {
+		t.Fatal(err)
+	}
+	s.Alloc(100)
+	if s.PagesOn(1) != 100 {
+		t.Errorf("new pages on CXL = %d, want 100", s.PagesOn(1))
+	}
+	for i := 0; i < 100; i++ {
+		if s.NodeOfPage(i) != 0 {
+			t.Fatalf("old page %d moved", i)
+		}
+	}
+}
+
+func TestWeightedCXLPercent(t *testing.T) {
+	w := NewDDRCXLSplit(37)
+	if got := w.CXLPercent(); math.Abs(got-37) > 1e-9 {
+		t.Errorf("CXLPercent = %v", got)
+	}
+	// Clamping.
+	if err := w.SetCXLPercent(150); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CXLPercent(); got != 100 {
+		t.Errorf("clamped CXLPercent = %v", got)
+	}
+	if err := w.SetCXLPercent(-5); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CXLPercent(); got != 0 {
+		t.Errorf("clamped CXLPercent = %v", got)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	if err := NewWeighted([]float64{1}).SetWeights(nil); err == nil {
+		t.Error("empty weights should error")
+	}
+	if err := NewWeighted([]float64{1}).SetWeights([]float64{-1, 2}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if err := NewWeighted([]float64{1}).SetWeights([]float64{0, 0}); err == nil {
+		t.Error("zero-sum weights should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDDRCXLSplit(120) should panic")
+		}
+	}()
+	NewDDRCXLSplit(120)
+}
+
+func TestWeightedSplitProperty(t *testing.T) {
+	// Property: for any percentage, the realized split over 1000 pages is
+	// within 1 page-percent of the requested split.
+	f := func(pRaw uint8) bool {
+		pct := float64(pRaw % 101)
+		w := NewDDRCXLSplit(pct)
+		s := NewSpace(twoNodes(), w)
+		s.Alloc(1000)
+		return math.Abs(s.Fraction(1)*100-pct) <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpaceAddressMapping(t *testing.T) {
+	s := NewSpace(twoNodes(), &Membind{Node: 1})
+	s.Alloc(4)
+	if s.Pages() != 4 || s.Bytes() != 4*PageBytes {
+		t.Errorf("pages=%d bytes=%d", s.Pages(), s.Bytes())
+	}
+	if s.NodeOfAddr(0) != 1 || s.NodeOfAddr(3*PageBytes+17) != 1 {
+		t.Error("address mapping wrong")
+	}
+}
+
+func TestSpaceMove(t *testing.T) {
+	s := NewSpace(twoNodes(), &Membind{Node: 1})
+	s.Alloc(10)
+	s.Move(3, 0)
+	if s.NodeOfPage(3) != 0 {
+		t.Error("page did not move")
+	}
+	if s.PagesOn(0) != 1 || s.PagesOn(1) != 9 {
+		t.Errorf("counts after move: %d/%d", s.PagesOn(0), s.PagesOn(1))
+	}
+	// Moving to the same node is a no-op.
+	s.Move(3, 0)
+	if s.PagesOn(0) != 1 {
+		t.Error("same-node move changed counts")
+	}
+}
+
+func TestSpaceMoveCountInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSpace(twoNodes(), NewDDRCXLSplit(50))
+		s.Alloc(64)
+		for _, op := range ops {
+			page := int(op) % 64
+			to := int(op>>8) % 2
+			s.Move(page, to)
+		}
+		return s.PagesOn(0)+s.PagesOn(1) == 64 &&
+			math.Abs(s.Fraction(0)+s.Fraction(1)-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesOnNode(t *testing.T) {
+	s := NewSpace(twoNodes(), NewDDRCXLSplit(50))
+	s.Alloc(10)
+	ddr := s.PagesOnNode(0)
+	cxl := s.PagesOnNode(1)
+	if len(ddr)+len(cxl) != 10 {
+		t.Errorf("page lists cover %d pages", len(ddr)+len(cxl))
+	}
+	for _, p := range cxl {
+		if s.NodeOfPage(p) != 1 {
+			t.Errorf("page %d misclassified", p)
+		}
+	}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no nodes":    func() { NewSpace(nil, &Membind{}) },
+		"sparse ids":  func() { NewSpace([]*Node{{ID: 5}}, &Membind{}) },
+		"nil policy":  func() { NewSpace(twoNodes(), nil) },
+		"neg alloc":   func() { s := NewSpace(twoNodes(), &Membind{}); s.Alloc(-1) },
+		"bad move":    func() { s := NewSpace(twoNodes(), &Membind{}); s.Alloc(1); s.Move(0, 7) },
+		"bad policy":  func() { s := NewSpace(twoNodes(), &Membind{Node: 9}); s.Alloc(1) },
+		"set nil pol": func() { s := NewSpace(twoNodes(), &Membind{}); s.SetPolicy(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFractionEmptySpace(t *testing.T) {
+	s := NewSpace(twoNodes(), &Membind{})
+	if s.Fraction(0) != 0 {
+		t.Error("empty space fraction should be 0")
+	}
+}

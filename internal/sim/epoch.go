@@ -1,0 +1,66 @@
+package sim
+
+// Epoch describes one fixed step of a fluid simulation. Throughput-oriented
+// workload models (DLRM, SPEC surrogates, DSB) advance in epochs: within an
+// epoch each actor declares a bandwidth demand, the memory devices resolve
+// contention, and the actors book progress.
+type Epoch struct {
+	// Index is the zero-based epoch number.
+	Index int
+	// Start is the simulated time at the beginning of the epoch.
+	Start Time
+	// Length is the epoch duration.
+	Length Time
+}
+
+// End returns the simulated time at the end of the epoch.
+func (e Epoch) End() Time { return e.Start + e.Length }
+
+// Runner drives a fluid simulation in fixed-length epochs.
+type Runner struct {
+	clock  Clock
+	length Time
+	index  int
+}
+
+// NewRunner creates a runner with the given epoch length. Typical workloads
+// use 1 ms — long enough to amortize model overhead, short enough to resolve
+// the 1 s Caption sampling interval with plenty of sub-samples.
+func NewRunner(length Time) *Runner {
+	if length <= 0 {
+		panic("sim: non-positive epoch length")
+	}
+	return &Runner{length: length}
+}
+
+// Now returns the current simulated time.
+func (r *Runner) Now() Time { return r.clock.Now() }
+
+// Step runs one epoch by invoking fn with the epoch descriptor, then advances
+// the clock. It returns the completed epoch.
+func (r *Runner) Step(fn func(Epoch)) Epoch {
+	e := Epoch{Index: r.index, Start: r.clock.Now(), Length: r.length}
+	if fn != nil {
+		fn(e)
+	}
+	r.clock.Advance(r.length)
+	r.index++
+	return e
+}
+
+// Run executes epochs until the predicate returns false. The predicate is
+// evaluated before each epoch; fn is invoked for each executed epoch.
+func (r *Runner) Run(keepGoing func() bool, fn func(Epoch)) {
+	for keepGoing() {
+		r.Step(fn)
+	}
+}
+
+// RunFor executes epochs until the simulated clock has advanced by at least d
+// from the point of call.
+func (r *Runner) RunFor(d Time, fn func(Epoch)) {
+	deadline := r.clock.Now() + d
+	for r.clock.Now() < deadline {
+		r.Step(fn)
+	}
+}

@@ -1,0 +1,258 @@
+// Package tpp implements a model of Transparent Page Placement (TPP), the
+// CXL-aware tiered-memory migration policy the paper evaluates against
+// static interleaving (§5.1, Fig. 7). The publicly released TPP patch set
+// offers an enhanced migration policy: hot pages on the CXL node are
+// promoted to DDR, cold DDR pages are demoted under pressure.
+//
+// The paper's finding F2 is that for µs-scale latency-sensitive applications
+// TPP's *mechanism* hurts: each migration (1) occupies both memory
+// controllers with a 4 KB copy, blocking demand reads, and (2) spends CPU
+// time on page-table updates and TLB shootdowns. This package models both
+// costs explicitly so the Redis experiment can reproduce the latency CDF of
+// Fig. 7.
+package tpp
+
+import (
+	"fmt"
+	"sort"
+
+	"cxlmem/internal/numa"
+	"cxlmem/internal/sim"
+)
+
+// Config parameterizes the policy.
+type Config struct {
+	// DDRNode and CXLNode are the node IDs of the fast and slow tiers.
+	DDRNode, CXLNode int
+	// TargetDDRFraction is the share of pages TPP steers toward DDR
+	// (the paper sets 75 % DDR / 25 % CXL from the bandwidth ratio).
+	TargetDDRFraction float64
+	// PromoteBatch bounds pages promoted per scan; the kernel moves pages
+	// in small batches to bound stalls.
+	PromoteBatch int
+	// DemoteBatch bounds pages demoted per scan under DDR pressure.
+	DemoteBatch int
+	// HotThreshold is the access count within a scan interval above which
+	// a CXL page is promotion-eligible (NUMA-hint-fault style sampling).
+	HotThreshold uint32
+	// ColdThreshold is the access count at or below which a DDR page is
+	// demotion-eligible.
+	ColdThreshold uint32
+	// PingPongDamper halves a page's recorded heat after it migrates, so a
+	// recently moved page needs sustained access to move again (TPP's
+	// ping-pong mitigation).
+	PingPongDamper bool
+}
+
+// DefaultConfig mirrors the paper's setup: 25 % of pages on CXL in steady
+// state, small batches, ping-pong damping on.
+func DefaultConfig() Config {
+	return Config{
+		DDRNode:           0,
+		CXLNode:           1,
+		TargetDDRFraction: 0.75,
+		PromoteBatch:      64,
+		DemoteBatch:       64,
+		HotThreshold:      2,
+		ColdThreshold:     0,
+		PingPongDamper:    true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TargetDDRFraction < 0 || c.TargetDDRFraction > 1 {
+		return fmt.Errorf("tpp: target DDR fraction %v out of [0,1]", c.TargetDDRFraction)
+	}
+	if c.PromoteBatch <= 0 || c.DemoteBatch <= 0 {
+		return fmt.Errorf("tpp: batches must be positive")
+	}
+	if c.DDRNode == c.CXLNode {
+		return fmt.Errorf("tpp: DDR and CXL nodes must differ")
+	}
+	return nil
+}
+
+// Migration describes one page move.
+type Migration struct {
+	Page     int
+	From, To int
+}
+
+// CostModel converts migrations into the two penalties of F2.
+type CostModel struct {
+	// PTEUpdate is the CPU cost per migrated page: unmapping, copying the
+	// PTE, TLB shootdown IPIs.
+	PTEUpdate sim.Time
+	// CopyBytes is the payload per page (read from source + write to
+	// destination devices).
+	CopyBytes int
+}
+
+// DefaultCostModel returns costs typical of a loaded system: ~20 µs of CPU
+// per promoted page (hint fault, rmap walk, TLB shootdown IPIs and
+// migrate_pages contention) plus the 4 KB copy. Lightly loaded kernels
+// migrate faster, but the paper's measurement is taken under full load.
+func DefaultCostModel() CostModel {
+	return CostModel{PTEUpdate: 20 * sim.Microsecond, CopyBytes: numa.PageBytes}
+}
+
+// SyncCost returns the latency charged to the operation that triggers a
+// promotion via a NUMA hint fault: the faulting thread performs the PTE
+// dance and the page copy synchronously before its access can proceed —
+// mechanism (1)+(2) of §5.1 concentrated on one unlucky request.
+func (m CostModel) SyncCost(copyBandwidthGBs float64) sim.Time {
+	if copyBandwidthGBs <= 0 {
+		return m.PTEUpdate
+	}
+	return m.PTEUpdate + sim.FromNanoseconds(float64(m.CopyBytes)/copyBandwidthGBs)
+}
+
+// Engine runs the policy over an address space.
+type Engine struct {
+	cfg   Config
+	space *numa.Space
+	heat  []uint32
+
+	// Promotions and Demotions count migrations performed so far.
+	Promotions, Demotions int64
+}
+
+// NewEngine creates an engine over the space.
+func NewEngine(cfg Config, space *numa.Space) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Engine{cfg: cfg, space: space, heat: make([]uint32, space.Pages())}
+}
+
+// RecordAccess notes one access to the page holding addr (the model's
+// equivalent of NUMA hint faults / PEBS sampling).
+func (e *Engine) RecordAccess(addr uint64) {
+	page := int(addr / numa.PageBytes)
+	e.ensure(page)
+	if e.heat[page] < 1<<31 {
+		e.heat[page]++
+	}
+}
+
+func (e *Engine) ensure(page int) {
+	for len(e.heat) <= page {
+		e.heat = append(e.heat, 0)
+	}
+}
+
+// Scan runs one policy interval. Promotion is hotness-driven: every CXL page
+// whose heat crossed the threshold is promotion-eligible (in the kernel this
+// happens via NUMA hint faults on the *accessing* thread). Room on DDR is
+// made either from the deficit to the target fraction or by demoting cold
+// DDR pages — the swap churn behind TPP's ping-pong behaviour. Demotion then
+// trims DDR back to the target using only cold pages. Heat decays after each
+// scan. The returned migrations have already been applied to the space;
+// promotions appear before demotions in the slice.
+func (e *Engine) Scan() []Migration {
+	e.ensure(e.space.Pages() - 1)
+	var migrations []Migration
+
+	// Promotion candidates: hottest CXL pages over threshold.
+	cxlPages := e.space.PagesOnNode(e.cfg.CXLNode)
+	sort.Slice(cxlPages, func(a, b int) bool {
+		return e.heat[cxlPages[a]] > e.heat[cxlPages[b]]
+	})
+	var hot []int
+	for _, p := range cxlPages {
+		if len(hot) == e.cfg.PromoteBatch || e.heat[p] < e.cfg.HotThreshold {
+			break
+		}
+		hot = append(hot, p)
+	}
+
+	// Demotion candidates: coldest DDR pages.
+	ddrPages := e.space.PagesOnNode(e.cfg.DDRNode)
+	sort.Slice(ddrPages, func(a, b int) bool {
+		return e.heat[ddrPages[a]] < e.heat[ddrPages[b]]
+	})
+	var cold []int
+	for _, p := range ddrPages {
+		if len(cold) == e.cfg.DemoteBatch || e.heat[p] > e.cfg.ColdThreshold {
+			break
+		}
+		cold = append(cold, p)
+	}
+
+	// Room for promotions: the deficit to the DDR target plus whatever cold
+	// pages can be swapped out. Without cold pages, promotion never pushes
+	// DDR beyond the target.
+	need := int(e.cfg.TargetDDRFraction*float64(e.space.Pages())) -
+		int(e.space.PagesOn(e.cfg.DDRNode))
+	if need < 0 {
+		need = 0
+	}
+	promote := len(hot)
+	if room := need + len(cold); promote > room {
+		promote = room
+	}
+	for _, p := range hot[:promote] {
+		e.space.Move(p, e.cfg.DDRNode)
+		migrations = append(migrations, Migration{Page: p, From: e.cfg.CXLNode, To: e.cfg.DDRNode})
+		e.Promotions++
+		if e.cfg.PingPongDamper {
+			e.heat[p] /= 2
+		}
+	}
+
+	// Demotion: trim back to the target with cold pages only.
+	over := int(float64(e.space.PagesOn(e.cfg.DDRNode)) -
+		e.cfg.TargetDDRFraction*float64(e.space.Pages()))
+	if over > len(cold) {
+		over = len(cold)
+	}
+	for _, p := range cold {
+		if over <= 0 {
+			break
+		}
+		e.space.Move(p, e.cfg.CXLNode)
+		migrations = append(migrations, Migration{Page: p, From: e.cfg.DDRNode, To: e.cfg.CXLNode})
+		e.Demotions++
+		over--
+		if e.cfg.PingPongDamper {
+			e.heat[p] /= 2
+		}
+	}
+
+	// Exponential heat decay between scans.
+	for i := range e.heat {
+		e.heat[i] /= 2
+	}
+	return migrations
+}
+
+// Heat exposes a page's current heat (diagnostics and tests).
+func (e *Engine) Heat(page int) uint32 {
+	if page >= len(e.heat) {
+		return 0
+	}
+	return e.heat[page]
+}
+
+// StallPenalty returns the demand-read latency penalty from a batch of
+// migrations running concurrently with the application over a window: the
+// copies occupy the memory controllers ((1) in §5.1) and the PTE updates
+// consume CPU ((2)). The penalty is the expected extra latency a demand
+// access experiences, assuming migrations are spread over the window.
+func (m CostModel) StallPenalty(migrations int, window sim.Time, copyBandwidthGBs float64) sim.Time {
+	if migrations == 0 || window <= 0 {
+		return 0
+	}
+	// Time the controllers spend copying instead of serving demand reads.
+	copyTime := sim.FromNanoseconds(float64(migrations*m.CopyBytes) / copyBandwidthGBs)
+	cpuTime := sim.Time(migrations) * m.PTEUpdate
+	busy := copyTime + cpuTime
+	if busy > window {
+		busy = window
+	}
+	// Expected extra wait for a random arrival: fraction of window busy ×
+	// half the mean busy burst. Bursts are batch-sized copies.
+	frac := float64(busy) / float64(window)
+	return sim.Time(frac * float64(busy) / 2)
+}

@@ -1,0 +1,215 @@
+package tpp
+
+import (
+	"testing"
+
+	"cxlmem/internal/numa"
+	"cxlmem/internal/sim"
+)
+
+func newSpace(cxlPercent float64, pages int) *numa.Space {
+	nodes := []*numa.Node{{ID: 0, Name: "DDR5-L"}, {ID: 1, Name: "CXL-A"}}
+	s := numa.NewSpace(nodes, numa.NewDDRCXLSplit(cxlPercent))
+	s.Alloc(pages)
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.TargetDDRFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bad fraction should fail")
+	}
+	bad = DefaultConfig()
+	bad.PromoteBatch = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero batch should fail")
+	}
+	bad = DefaultConfig()
+	bad.CXLNode = bad.DDRNode
+	if err := bad.Validate(); err == nil {
+		t.Error("same nodes should fail")
+	}
+}
+
+func TestPromotionMovesHotPagesTowardTarget(t *testing.T) {
+	// Start with 100% of pages on CXL, like the paper's TPP experiment.
+	space := newSpace(100, 1000)
+	e := NewEngine(DefaultConfig(), space)
+
+	// Make the first 500 pages hot.
+	for p := 0; p < 500; p++ {
+		for k := 0; k < 4; k++ {
+			e.RecordAccess(uint64(p) * numa.PageBytes)
+		}
+	}
+	var total int
+	for i := 0; i < 20; i++ {
+		migs := e.Scan()
+		total += len(migs)
+		for _, m := range migs {
+			if m.From != 1 || m.To != 0 {
+				t.Fatalf("unexpected migration direction: %+v", m)
+			}
+		}
+		// Re-touch hot pages between scans (heat decays).
+		for p := 0; p < 500; p++ {
+			for k := 0; k < 4; k++ {
+				e.RecordAccess(uint64(p) * numa.PageBytes)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no promotions happened")
+	}
+	if e.Promotions != int64(total) {
+		t.Errorf("promotion counter = %d, want %d", e.Promotions, total)
+	}
+	if space.Fraction(0) == 0 {
+		t.Error("DDR fraction did not grow")
+	}
+	// Batch limit respected per scan.
+	if total > 20*DefaultConfig().PromoteBatch {
+		t.Errorf("promoted %d pages, exceeds batch limits", total)
+	}
+}
+
+func TestPromotionStopsAtTarget(t *testing.T) {
+	space := newSpace(100, 400)
+	cfg := DefaultConfig()
+	cfg.PromoteBatch = 1000
+	cfg.HotThreshold = 1
+	e := NewEngine(cfg, space)
+	for round := 0; round < 50; round++ {
+		for p := 0; p < 400; p++ {
+			e.RecordAccess(uint64(p) * numa.PageBytes)
+			e.RecordAccess(uint64(p) * numa.PageBytes)
+		}
+		e.Scan()
+	}
+	frac := space.Fraction(0)
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("steady-state DDR fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestDemotionUnderPressure(t *testing.T) {
+	// Start with everything on DDR: TPP must demote cold pages to CXL.
+	space := newSpace(0, 1000)
+	cfg := DefaultConfig()
+	e := NewEngine(cfg, space)
+	var demoted int
+	for i := 0; i < 20; i++ {
+		migs := e.Scan()
+		for _, m := range migs {
+			if m.From != 0 || m.To != 1 {
+				t.Fatalf("unexpected direction: %+v", m)
+			}
+			demoted++
+		}
+	}
+	if demoted == 0 {
+		t.Fatal("no demotions under DDR pressure")
+	}
+	if frac := space.Fraction(0); frac < 0.74 || frac > 0.8 {
+		t.Errorf("DDR fraction after demotion = %v, want ~0.75", frac)
+	}
+	if e.Demotions != int64(demoted) {
+		t.Errorf("demotion counter mismatch")
+	}
+}
+
+func TestHotPagesNotDemoted(t *testing.T) {
+	space := newSpace(0, 100)
+	cfg := DefaultConfig()
+	cfg.DemoteBatch = 100
+	e := NewEngine(cfg, space)
+	// Heat every page well above cold threshold.
+	for p := 0; p < 100; p++ {
+		for k := 0; k < 8; k++ {
+			e.RecordAccess(uint64(p) * numa.PageBytes)
+		}
+	}
+	migs := e.Scan()
+	if len(migs) != 0 {
+		t.Errorf("hot pages were demoted: %d migrations", len(migs))
+	}
+}
+
+func TestPingPongDamperHalvesHeat(t *testing.T) {
+	space := newSpace(100, 10)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 2
+	e := NewEngine(cfg, space)
+	for k := 0; k < 8; k++ {
+		e.RecordAccess(0)
+	}
+	if e.Heat(0) != 8 {
+		t.Fatalf("heat = %d, want 8", e.Heat(0))
+	}
+	migs := e.Scan()
+	if len(migs) == 0 {
+		t.Fatal("hot page should be promoted")
+	}
+	// Damper halves on migration, decay halves again: 8 -> 4 -> 2.
+	if e.Heat(0) != 2 {
+		t.Errorf("heat after damped migration + decay = %d, want 2", e.Heat(0))
+	}
+}
+
+func TestHeatDecay(t *testing.T) {
+	space := newSpace(50, 10)
+	e := NewEngine(DefaultConfig(), space)
+	e.RecordAccess(0)
+	e.RecordAccess(0)
+	e.Scan()
+	if e.Heat(0) != 1 {
+		t.Errorf("heat after decay = %d, want 1", e.Heat(0))
+	}
+	if e.Heat(99999) != 0 {
+		t.Error("unknown page heat should be 0")
+	}
+}
+
+func TestRecordAccessGrowsHeatSlice(t *testing.T) {
+	space := newSpace(50, 1)
+	e := NewEngine(DefaultConfig(), space)
+	e.RecordAccess(1000 * numa.PageBytes) // far beyond current pages
+	if e.Heat(1000) != 1 {
+		t.Error("heat slice did not grow")
+	}
+}
+
+func TestStallPenalty(t *testing.T) {
+	m := DefaultCostModel()
+	if p := m.StallPenalty(0, sim.Millisecond, 10); p != 0 {
+		t.Errorf("zero migrations penalty = %v", p)
+	}
+	small := m.StallPenalty(10, 100*sim.Millisecond, 10)
+	large := m.StallPenalty(1000, 100*sim.Millisecond, 10)
+	if large <= small {
+		t.Errorf("penalty should grow with migrations: %v vs %v", small, large)
+	}
+	// Penalty bounded by the window.
+	huge := m.StallPenalty(1_000_000, sim.Millisecond, 1)
+	if huge > sim.Millisecond {
+		t.Errorf("penalty %v exceeds window", huge)
+	}
+	if p := m.StallPenalty(10, 0, 10); p != 0 {
+		t.Errorf("zero window penalty = %v", p)
+	}
+}
+
+func TestNewEnginePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.PromoteBatch = -1
+	NewEngine(cfg, newSpace(50, 10))
+}

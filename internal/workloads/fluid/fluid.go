@@ -1,0 +1,171 @@
+// Package fluid provides the shared bandwidth-equilibrium solver used by the
+// throughput-oriented workload models (DLRM embedding reduction, SPECrate
+// surrogates, DSB contention analysis).
+//
+// The model: an application's memory accesses split across placement classes
+// (pages on DDR vs. pages on a CXL device). Each class has an LLC hit rate;
+// misses consume device bandwidth. The achievable access rate is limited
+// both by the threads (finite memory-level parallelism against the average
+// access latency) and by each device's effective bandwidth; loaded devices
+// inflate latency through the queueing factor, which in turn throttles the
+// threads. Solve iterates this loop to a fixed point — exactly the feedback
+// the paper exploits in §6 (Fig. 11a: throughput rises with consumed
+// bandwidth until queueing delay at the controller turns it around).
+package fluid
+
+import (
+	"fmt"
+
+	"cxlmem/internal/mem"
+	"cxlmem/internal/topo"
+)
+
+// Class is one page-placement class of an application.
+type Class struct {
+	// Path is the device behind the class's pages.
+	Path *topo.Path
+	// Weight is the fraction of accesses hitting this class (sums to 1
+	// across classes).
+	Weight float64
+	// HitRate is the LLC hit probability for this class's lines.
+	HitRate float64
+	// WriteFraction is the share of this class's memory traffic that is
+	// writes (affects the device's delivered bandwidth).
+	WriteFraction float64
+}
+
+// ClassState is the per-class equilibrium outcome.
+type ClassState struct {
+	// Utilization of the device's effective bandwidth in [0, 1].
+	Utilization float64
+	// QueueFactor is the latency inflation (>= 1).
+	QueueFactor float64
+	// LatencyNS is the average access latency for the class, including LLC
+	// hits.
+	LatencyNS float64
+	// BandwidthGBs is the class's consumed device bandwidth.
+	BandwidthGBs float64
+}
+
+// Equilibrium is the converged operating point.
+type Equilibrium struct {
+	// AccessRateGps is the total access rate in giga-accesses per second.
+	AccessRateGps float64
+	// AvgLatencyNS is the weighted average access latency.
+	AvgLatencyNS float64
+	// TotalBandwidthGBs is the total consumed memory bandwidth (the
+	// "system bandwidth" of Fig. 11a).
+	TotalBandwidthGBs float64
+	// PerClass holds per-class detail aligned with the input slice.
+	PerClass []ClassState
+}
+
+// RateFn maps the current average access latency (ns) to the access rate
+// (giga-accesses/s) the compute side can sustain — typically
+// threads × MLP / latency.
+type RateFn func(avgLatencyNS float64) float64
+
+// LLCHitLatencyNS is the average latency of an LLC hit as seen by the
+// access stream (topo.LLCHitLatency).
+const LLCHitLatencyNS = 33.0
+
+// Solve iterates the latency/bandwidth feedback loop to a fixed point.
+// classes must have positive total weight; iters of ~50 is plenty (the
+// damped iteration converges geometrically).
+func Solve(classes []Class, rate RateFn, iters int) Equilibrium {
+	if len(classes) == 0 {
+		panic("fluid: no classes")
+	}
+	totalW := 0.0
+	for i, c := range classes {
+		if c.Weight < 0 || c.HitRate < 0 || c.HitRate > 1 {
+			panic(fmt.Sprintf("fluid: class %d invalid (weight %v, hit %v)", i, c.Weight, c.HitRate))
+		}
+		totalW += c.Weight
+	}
+	if totalW <= 0 {
+		panic("fluid: zero total weight")
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+
+	qf := make([]float64, len(classes))
+	for i := range qf {
+		qf[i] = 1
+	}
+	var eq Equilibrium
+	r := 0.0
+	for it := 0; it < iters; it++ {
+		// Average *serialized* access latency under current queue factors.
+		// Parallelism is the rate function's business (threads × MLP / lat);
+		// using amortized latencies here would double-count the overlap.
+		avg := 0.0
+		lat := make([]float64, len(classes))
+		for i, c := range classes {
+			miss := 1 - c.HitRate
+			l := c.HitRate*LLCHitLatencyNS +
+				miss*c.Path.SerialLatency(mem.Load).Nanoseconds()*qf[i]
+			lat[i] = l
+			avg += c.Weight / totalW * l
+		}
+		// Thread-limited rate.
+		rT := rate(avg)
+		// Bandwidth-limited rate: each class's miss traffic must fit its
+		// device.
+		rB := rT
+		for _, c := range classes {
+			miss := 1 - c.HitRate
+			if c.Weight*miss <= 0 {
+				continue
+			}
+			cap := c.Path.Device.EffectiveGBs(c.WriteFraction)
+			// bytes/s at rate r: r(G/s) × w × miss × 64 → GB/s numerically.
+			limit := cap / (c.Weight / totalW * miss * float64(mem.CacheLineBytes))
+			if limit < rB {
+				rB = limit
+			}
+		}
+		next := rB
+		// Damped update keeps the iteration stable near saturation.
+		r = 0.6*r + 0.4*next
+		// Update utilizations and queue factors at the new rate.
+		eq.PerClass = eq.PerClass[:0]
+		eq.TotalBandwidthGBs = 0
+		for i, c := range classes {
+			miss := 1 - c.HitRate
+			bw := r * (c.Weight / totalW) * miss * float64(mem.CacheLineBytes)
+			cap := c.Path.Device.EffectiveGBs(c.WriteFraction)
+			u := 0.0
+			if cap > 0 {
+				u = bw / cap
+				if u > 1 {
+					u = 1
+				}
+			}
+			qf[i] = mem.QueueFactor(u)
+			eq.PerClass = append(eq.PerClass, ClassState{
+				Utilization:  u,
+				QueueFactor:  qf[i],
+				LatencyNS:    lat[i],
+				BandwidthGBs: bw,
+			})
+			eq.TotalBandwidthGBs += bw
+		}
+		eq.AccessRateGps = r
+		eq.AvgLatencyNS = avg
+	}
+	// Final consistency pass: recompute latencies with the converged queue
+	// factors so the reported snapshot matches the final rate (the damped
+	// iteration can leave a stale latency from the penultimate step).
+	avg := 0.0
+	for i, c := range classes {
+		miss := 1 - c.HitRate
+		l := c.HitRate*LLCHitLatencyNS +
+			miss*c.Path.SerialLatency(mem.Load).Nanoseconds()*qf[i]
+		eq.PerClass[i].LatencyNS = l
+		avg += c.Weight / totalW * l
+	}
+	eq.AvgLatencyNS = avg
+	return eq
+}

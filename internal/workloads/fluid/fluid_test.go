@@ -1,0 +1,101 @@
+package fluid
+
+import (
+	"testing"
+
+	"cxlmem/internal/topo"
+)
+
+func TestSolveThreadLimited(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	classes := []Class{{Path: sys.DDRLocal, Weight: 1, HitRate: 0.9}}
+	// Tiny rate: far below bandwidth limits.
+	eq := Solve(classes, func(lat float64) float64 { return 0.01 }, 50)
+	if eq.AccessRateGps < 0.009 || eq.AccessRateGps > 0.011 {
+		t.Errorf("thread-limited rate = %v, want ~0.01", eq.AccessRateGps)
+	}
+	if eq.PerClass[0].Utilization > 0.1 {
+		t.Errorf("utilization = %v, want light", eq.PerClass[0].Utilization)
+	}
+	if eq.PerClass[0].QueueFactor > 1.01 {
+		t.Errorf("queue factor = %v, want ~1", eq.PerClass[0].QueueFactor)
+	}
+}
+
+func TestSolveBandwidthLimited(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	// No LLC hits: every access consumes device bandwidth.
+	classes := []Class{{Path: sys.DDRLocal, Weight: 1, HitRate: 0}}
+	eq := Solve(classes, func(lat float64) float64 { return 1000 }, 80)
+	// 2-channel DDR5 at 85% read efficiency: 65.28 GB/s -> ~1.02 G lines/s.
+	cap := sys.DDRLocal.Device.EffectiveGBs(0)
+	want := cap / 64
+	if eq.AccessRateGps < want*0.95 || eq.AccessRateGps > want*1.05 {
+		t.Errorf("bandwidth-limited rate = %v G/s, want ~%v", eq.AccessRateGps, want)
+	}
+	if eq.PerClass[0].Utilization < 0.9 {
+		t.Errorf("utilization = %v, want saturated", eq.PerClass[0].Utilization)
+	}
+	if eq.TotalBandwidthGBs > cap*1.01 {
+		t.Errorf("consumed bandwidth %v exceeds capacity %v", eq.TotalBandwidthGBs, cap)
+	}
+}
+
+func TestSolveHitRateShieldsBandwidth(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	rate := func(lat float64) float64 { return 1000 }
+	miss := Solve([]Class{{Path: sys.DDRLocal, Weight: 1, HitRate: 0}}, rate, 60)
+	hit := Solve([]Class{{Path: sys.DDRLocal, Weight: 1, HitRate: 0.9}}, rate, 60)
+	// With 90% hits, only 10% of accesses use bandwidth: rate ~10x higher.
+	if hit.AccessRateGps < 5*miss.AccessRateGps {
+		t.Errorf("hit-shielded rate %v should dwarf miss rate %v", hit.AccessRateGps, miss.AccessRateGps)
+	}
+}
+
+func TestSolveTwoClassBottleneck(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	// 80% of traffic to a weak CXL-C device: it must be the bottleneck.
+	classes := []Class{
+		{Path: sys.DDRLocal, Weight: 0.2, HitRate: 0},
+		{Path: sys.Path("CXL-C"), Weight: 0.8, HitRate: 0},
+	}
+	eq := Solve(classes, func(lat float64) float64 { return 1000 }, 80)
+	if eq.PerClass[1].Utilization < 0.9 {
+		t.Errorf("CXL-C should saturate, utilization %v", eq.PerClass[1].Utilization)
+	}
+	if eq.PerClass[0].Utilization > 0.5 {
+		t.Errorf("DDR should be underutilized, got %v", eq.PerClass[0].Utilization)
+	}
+}
+
+func TestSolveLatencyIncludesQueueing(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	classes := []Class{{Path: sys.DDRLocal, Weight: 1, HitRate: 0}}
+	light := Solve(classes, func(lat float64) float64 { return 0.05 }, 60)
+	heavy := Solve(classes, func(lat float64) float64 { return 1000 }, 60)
+	if heavy.AvgLatencyNS <= light.AvgLatencyNS {
+		t.Errorf("loaded latency %v should exceed unloaded %v", heavy.AvgLatencyNS, light.AvgLatencyNS)
+	}
+}
+
+func TestSolvePanics(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	for name, fn := range map[string]func(){
+		"no classes": func() { Solve(nil, func(float64) float64 { return 1 }, 10) },
+		"bad hit": func() {
+			Solve([]Class{{Path: sys.DDRLocal, Weight: 1, HitRate: 2}}, func(float64) float64 { return 1 }, 10)
+		},
+		"zero wt": func() {
+			Solve([]Class{{Path: sys.DDRLocal, Weight: 0, HitRate: 0}}, func(float64) float64 { return 1 }, 10)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
