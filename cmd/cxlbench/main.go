@@ -3,16 +3,28 @@
 //
 // Usage:
 //
-//	cxlbench -list            # show available experiment IDs
-//	cxlbench -run fig3        # regenerate one table/figure
-//	cxlbench -run all         # regenerate everything
-//	cxlbench -run fig13 -quick # reduced sample counts
+//	cxlbench -list                    # show available experiment IDs
+//	cxlbench -run fig3                # regenerate one table/figure
+//	cxlbench -run all                 # regenerate everything, concurrently
+//	cxlbench -run fig13 -quick        # reduced sample counts
+//	cxlbench -run all -parallel 4     # bound the sweep worker pool
+//	cxlbench -run fig13 -cpuprofile p # write a pprof CPU profile
+//
+// A single experiment fans its independent operating points across
+// -parallel workers (default: all CPUs). -run all spends the same budget one
+// level up: whole experiments run concurrently on -parallel workers, each
+// sweeping serially, so total concurrency never exceeds the requested
+// worker count. Output is byte-identical for every -parallel value: results
+// are ordered by operating point, and tables print in registry order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 
 	"cxlmem"
 )
@@ -21,42 +33,96 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
 	quick := flag.Bool("quick", false, "reduced sample counts")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all CPUs)")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := cxlmem.RunConfig{Quick: *quick, Parallel: *parallel, Seed: *seed}
 	switch {
 	case *list:
 		for _, e := range cxlmem.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
 		}
 	case *run == "all":
-		for _, e := range cxlmem.Experiments() {
-			if err := emit(e.ID, *quick); err != nil {
-				fail(err)
-			}
-			fmt.Println()
-		}
-	case *run != "":
-		if err := emit(*run, *quick); err != nil {
+		if err := runAll(cfg); err != nil {
+			pprof.StopCPUProfile()
 			fail(err)
 		}
+	case *run != "":
+		out, err := cxlmem.RunExperimentCfg(*run, cfg)
+		if err != nil {
+			pprof.StopCPUProfile()
+			fail(err)
+		}
+		fmt.Print(out)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func emit(id string, quick bool) error {
-	var out string
-	var err error
-	if quick {
-		out, err = cxlmem.RunExperimentQuick(id)
-	} else {
-		out, err = cxlmem.RunExperiment(id)
+// runAll regenerates every experiment through a bounded worker pool and
+// prints the tables in registry order as they complete. The -parallel
+// budget moves to the experiment level: each experiment sweeps serially so
+// the two pools cannot multiply.
+func runAll(cfg cxlmem.RunConfig) error {
+	infos := cxlmem.Experiments()
+	type result struct {
+		out  string
+		err  error
+		done chan struct{}
 	}
-	if err != nil {
-		return err
+	results := make([]result, len(infos))
+	for i := range results {
+		results[i].done = make(chan struct{})
 	}
-	fmt.Print(out)
+
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(infos) {
+		workers = len(infos)
+	}
+	cfg.Parallel = 1
+	var next int
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(infos) {
+					return
+				}
+				results[i].out, results[i].err = cxlmem.RunExperimentCfg(infos[i].ID, cfg)
+				close(results[i].done)
+			}
+		}()
+	}
+	for i := range infos {
+		<-results[i].done
+		if results[i].err != nil {
+			return results[i].err
+		}
+		fmt.Print(results[i].out)
+		fmt.Println()
+	}
 	return nil
 }
 

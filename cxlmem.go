@@ -56,24 +56,41 @@ func Experiments() []ExperimentInfo {
 	return out
 }
 
+// RunConfig tunes an experiment regeneration.
+type RunConfig struct {
+	// Quick reduces sample counts (used by benchmarks).
+	Quick bool
+	// Parallel is the worker count for independent sweep points; 0 uses
+	// every available CPU. The rendered table is byte-identical for any
+	// worker count.
+	Parallel int
+	// Seed perturbs the stochastic components; 0 keeps the default.
+	Seed uint64
+}
+
 // RunExperiment regenerates the table or figure with the given ID at full
 // fidelity and returns its text rendering.
 func RunExperiment(id string) (string, error) {
-	return runExperiment(id, false)
+	return RunExperimentCfg(id, RunConfig{})
 }
 
 // RunExperimentQuick runs a reduced-sample variant (used by benchmarks).
 func RunExperimentQuick(id string) (string, error) {
-	return runExperiment(id, true)
+	return RunExperimentCfg(id, RunConfig{Quick: true})
 }
 
-func runExperiment(id string, quick bool) (string, error) {
+// RunExperimentCfg regenerates one experiment under the given configuration.
+func RunExperimentCfg(id string, cfg RunConfig) (string, error) {
 	e, err := experiments.Get(id)
 	if err != nil {
 		return "", err
 	}
 	opts := experiments.DefaultOptions()
-	opts.Quick = quick
+	opts.Quick = cfg.Quick
+	opts.Parallel = cfg.Parallel
+	if cfg.Seed != 0 {
+		opts.Seed = cfg.Seed
+	}
 	return e.Run(opts).Render(), nil
 }
 

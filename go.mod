@@ -1,0 +1,3 @@
+module cxlmem
+
+go 1.22

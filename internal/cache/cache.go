@@ -85,11 +85,16 @@ type way struct {
 
 // Cache is a single set-associative, LRU write-back cache.
 // It stores tags only — the simulation tracks placement, not data.
+//
+// The tag store is allocated lazily on the first lookup/insert: building a
+// System is cheap for the many analytic experiments that never simulate an
+// access, and the store is a single flat slab rather than one slice per set.
 type Cache struct {
-	sets  []([]way)
-	ways  int
-	shift uint // 64 - log2(len(sets)), for Fibonacci set hashing
-	clock uint64
+	slab     []way // flat setCount*ways tag store; nil until first touched
+	setCount int
+	ways     int
+	shift    uint // 64 - log2(setCount), for Fibonacci set hashing
+	clock    uint64
 
 	// Hits and Misses count lookups.
 	Hits, Misses uint64
@@ -114,18 +119,24 @@ func NewCache(sizeBytes int64, ways int) *Cache {
 	for p*2 <= sets {
 		p *= 2
 	}
-	c := &Cache{sets: make([][]way, p), ways: ways, shift: 64}
+	c := &Cache{setCount: int(p), ways: ways, shift: 64}
 	for s := p; s > 1; s /= 2 {
 		c.shift--
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]way, ways)
 	}
 	return c
 }
 
+// set returns the ways of set idx, materializing the tag store on first use.
+func (c *Cache) set(idx uint64) []way {
+	if c.slab == nil {
+		c.slab = make([]way, c.setCount*c.ways)
+	}
+	base := int(idx) * c.ways
+	return c.slab[base : base+c.ways]
+}
+
 // Lines returns the capacity in cache lines.
-func (c *Cache) Lines() int { return len(c.sets) * c.ways }
+func (c *Cache) Lines() int { return c.setCount * c.ways }
 
 // SizeBytes returns the modeled capacity in bytes.
 func (c *Cache) SizeBytes() int64 { return int64(c.Lines()) * LineBytes }
@@ -146,7 +157,7 @@ func (c *Cache) setIndex(addr uint64) uint64 {
 // Lookup probes for addr. On a hit it refreshes LRU state, applies the dirty
 // bit for writes, and returns true.
 func (c *Cache) Lookup(addr uint64, write bool) bool {
-	set := c.sets[c.setIndex(addr)]
+	set := c.set(c.setIndex(addr))
 	tag := addr / LineBytes
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -172,8 +183,7 @@ type Victim struct {
 
 // Insert fills addr into the cache, returning the displaced victim (if any).
 func (c *Cache) Insert(addr uint64, home Home, dirty bool) (Victim, bool) {
-	idx := c.setIndex(addr)
-	set := c.sets[idx]
+	set := c.set(c.setIndex(addr))
 	tag := addr / LineBytes
 	c.clock++
 
@@ -210,7 +220,10 @@ func (c *Cache) Insert(addr uint64, home Home, dirty bool) (Victim, bool) {
 // Invalidate removes addr if present, returning whether it was found and
 // whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (found, dirty bool) {
-	set := c.sets[c.setIndex(addr)]
+	if c.slab == nil {
+		return false, false
+	}
+	set := c.set(c.setIndex(addr))
 	tag := addr / LineBytes
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -226,11 +239,9 @@ func (c *Cache) Invalidate(addr uint64) (found, dirty bool) {
 // tests and diagnostics).
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, w := range set {
-			if w.valid {
-				n++
-			}
+	for i := range c.slab {
+		if c.slab[i].valid {
+			n++
 		}
 	}
 	return n
@@ -239,9 +250,7 @@ func (c *Cache) Occupancy() int {
 // Flush invalidates every line (clflush of the whole cache, as memo does
 // before each latency measurement).
 func (c *Cache) Flush() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = way{}
-		}
+	for i := range c.slab {
+		c.slab[i] = way{}
 	}
 }

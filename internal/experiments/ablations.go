@@ -22,14 +22,14 @@ func init() {
 
 func runAblationLLC(o Options) *Table {
 	samples := o.scale(200000)
-	measure := func(breaks bool) float64 {
+	// Cache-mutating measurements: a private System per sweep point.
+	lats := sweepPoints(o, 2, func(i int) float64 {
 		cfg := topo.DefaultConfig()
-		cfg.CXLBreaksSNCIsolation = breaks
+		cfg.CXLBreaksSNCIsolation = i == 0
 		sys := topo.NewSystem(cfg)
 		return mlc.BufferLatency(sys, sys.Path("CXL-A"), 32<<20, samples, o.Seed+3).Nanoseconds()
-	}
-	withBreak := measure(true)
-	without := measure(false)
+	})
+	withBreak, without := lats[0], lats[1]
 
 	// The same flag propagates into the DLRM LLC model via the hierarchy.
 	cfgOn := topo.DefaultConfig()
@@ -89,11 +89,15 @@ func runAblationEstimator(o Options) *Table {
 		return res.GIPS / base, res.Sample
 	}
 
-	// Full Table-4 estimator (fitted on the DLRM sweep).
-	full := fitDLRMEstimator(sys)
-	// IPC-only estimator: zero out the latency features by refitting on a
-	// sweep with the latency counters suppressed.
-	samples, thr := dlrmOperatingPoints(sys, 5)
+	// One DLRM calibration sweep feeds both estimators.
+	samples, thr := dlrmOperatingPoints(o, sys, 5)
+	// Full Table-4 estimator.
+	full, err := core.FitEstimator(samples, thr)
+	if err != nil {
+		panic(err)
+	}
+	// IPC-only estimator: zero out the latency features by refitting on the
+	// same sweep with the latency counters suppressed.
 	ipcOnly := make([]telemetry.Sample, len(samples))
 	for i, s := range samples {
 		ipcOnly[i] = telemetry.Sample{IPC: s.IPC,
@@ -123,8 +127,17 @@ func runAblationEstimator(o Options) *Table {
 		_, thr, model := captionTimeline(est, eval2, 40)
 		return steadyMean(thr), stats.Pearson(model, thr)
 	}
-	fullThr, fullPear := run(full, false)
-	ipcThr, ipcPear := run(ipcEst, true)
+	type outcome struct{ thr, pear float64 }
+	outcomes := sweepPoints(o, 2, func(i int) outcome {
+		if i == 0 {
+			thr, pear := run(full, false)
+			return outcome{thr, pear}
+		}
+		thr, pear := run(ipcEst, true)
+		return outcome{thr, pear}
+	})
+	fullThr, fullPear := outcomes[0].thr, outcomes[0].pear
+	ipcThr, ipcPear := outcomes[1].thr, outcomes[1].pear
 
 	t := &Table{
 		ID:      "ablation-estimator",

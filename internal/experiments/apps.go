@@ -45,12 +45,15 @@ func runFig6a(o Options) *Table {
 		Title:   "Redis YCSB-A (uniform keys) p99 latency (us)",
 		Headers: []string{"Target QPS", "DDR 100%", "CXL 25%", "CXL 50%", "CXL 75%", "CXL 100%"},
 	}
-	for _, q := range qpss {
+	p99s := sweepPoints(o, len(qpss)*len(ratios), func(i int) float64 {
+		q, r := qpss[i/len(ratios)], ratios[i%len(ratios)]
+		s := kvstore.New(sys, cfg, "CXL-A", r)
+		return s.RunOpenLoop(ycsb.WorkloadA, ycsb.Uniform, q, ops).P99.Microseconds()
+	})
+	for qi, q := range qpss {
 		row := []string{f0(q)}
-		for _, r := range ratios {
-			s := kvstore.New(sys, cfg, "CXL-A", r)
-			res := s.RunOpenLoop(ycsb.WorkloadA, ycsb.Uniform, q, ops)
-			row = append(row, f1(res.P99.Microseconds()))
+		for ri := range ratios {
+			row = append(row, f1(p99s[qi*len(ratios)+ri]))
 		}
 		t.AddRow(row...)
 	}
@@ -67,10 +70,12 @@ func dsbRunner(id string, w dsb.Workload, qpss []float64) func(Options) *Table {
 			Title:   fmt.Sprintf("DSB %s p99 latency (ms)", w),
 			Headers: []string{"Target QPS", "DDR 100%", "CXL 100%"},
 		}
-		for _, q := range qpss {
-			d := dsb.Run(sys, w, "CXL-A", false, q, reqs, o.Seed)
-			c := dsb.Run(sys, w, "CXL-A", true, q, reqs, o.Seed)
-			t.AddRow(f0(q), f2(d.P99.Milliseconds()), f2(c.P99.Milliseconds()))
+		p99s := sweepPoints(o, len(qpss)*2, func(i int) float64 {
+			q, onCXL := qpss[i/2], i%2 == 1
+			return dsb.Run(sys, w, "CXL-A", onCXL, q, reqs, o.Seed).P99.Milliseconds()
+		})
+		for qi, q := range qpss {
+			t.AddRow(f0(q), f2(p99s[qi*2]), f2(p99s[qi*2+1]))
 		}
 		t.AddNote("paper F3: ms-scale services barely notice CXL latency; the mixed workload flips in its 5-11 kQPS window")
 		return t
@@ -108,7 +113,20 @@ func runFig7(o Options) *Table {
 
 func runFig8(o Options) *Table {
 	sys := topo.NewSystem(topo.DefaultConfig())
-	ddr, cxl := fio.Sweep(sys, "CXL-A", fio.DefaultConfig(), o.scale(40000))
+	blocks := fio.BlockSizes()
+	ios := o.scale(40000)
+	res := sweepPoints(o, len(blocks)*2, func(i int) fio.Result {
+		path := sys.DDRLocal
+		if i%2 == 1 {
+			path = sys.Path("CXL-A")
+		}
+		return fio.Run(sys, path, fio.DefaultConfig(), blocks[i/2], ios)
+	})
+	var ddr, cxl []fio.Result
+	for i := range blocks {
+		ddr = append(ddr, res[i*2])
+		cxl = append(cxl, res[i*2+1])
+	}
 	t := &Table{
 		ID:      "fig8",
 		Title:   "FIO p99 latency by block size, page cache on DDR vs CXL",
@@ -133,11 +151,15 @@ func runFig9a(o Options) *Table {
 		Title:   "DLRM embedding-reduction throughput (M queries/s)",
 		Headers: []string{"Threads", "DDR100", "CXL17", "CXL38", "CXL50", "CXL63", "CXL83", "CXL100"},
 	}
-	for _, th := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
+	threads := []int{4, 8, 12, 16, 20, 24, 28, 32}
+	qps := sweepPoints(o, len(threads)*len(ratios), func(i int) float64 {
+		th, r := threads[i/len(ratios)], ratios[i%len(ratios)]
+		return dlrm.Run(sys, cfg, "CXL-A", r, th, dlrm.SNCAlone).QueriesPerSec
+	})
+	for ti, th := range threads {
 		row := []string{fmt.Sprintf("%d", th)}
-		for _, r := range ratios {
-			res := dlrm.Run(sys, cfg, "CXL-A", r, th, dlrm.SNCAlone)
-			row = append(row, f2(res.QueriesPerSec/1e6))
+		for ri := range ratios {
+			row = append(row, f2(qps[ti*len(ratios)+ri]/1e6))
 		}
 		t.AddRow(row...)
 	}
@@ -157,12 +179,17 @@ func runFig9b(o Options) *Table {
 		Title:   "Redis max sustainable QPS normalized to DDR 100%",
 		Headers: []string{"Workload", "DDR100", "CXL25", "CXL50", "CXL75", "CXL100"},
 	}
-	for _, w := range ycsb.Workloads() {
-		base := kvstore.New(sys, cfg, "CXL-A", 0).MaxQPS(w, ycsb.Uniform, samples)
+	ws := ycsb.Workloads()
+	qs := sweepPoints(o, len(ws)*len(ratios), func(i int) float64 {
+		w, r := ws[i/len(ratios)], ratios[i%len(ratios)]
+		return kvstore.New(sys, cfg, "CXL-A", r).MaxQPS(w, ycsb.Uniform, samples)
+	})
+	for wi, w := range ws {
+		// ratios[0] is the DDR-100% point — the normalization base.
+		base := qs[wi*len(ratios)]
 		row := []string{w.Name}
-		for _, r := range ratios {
-			q := kvstore.New(sys, cfg, "CXL-A", r).MaxQPS(w, ycsb.Uniform, samples)
-			row = append(row, f2(q/base))
+		for ri := range ratios {
+			row = append(row, f2(qs[wi*len(ratios)+ri]/base))
 		}
 		t.AddRow(row...)
 	}

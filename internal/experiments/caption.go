@@ -39,20 +39,26 @@ func runTable4(o Options) *Table {
 // normalized throughput — the calibration data Caption's estimator is
 // fitted on (§6.1 M2: "we collect CPU counter values at various DDR:CXL
 // ratios while running DLRM with 24 threads").
-func dlrmOperatingPoints(sys *topo.System, step float64) (samples []telemetry.Sample, thr []float64) {
+func dlrmOperatingPoints(o Options, sys *topo.System, step float64) (samples []telemetry.Sample, thr []float64) {
 	cfg := dlrm.DefaultConfig()
-	base := dlrm.Run(sys, cfg, "CXL-A", 0, 24, dlrm.SNCAlone).QueriesPerSec
+	var ratios []float64
 	for r := 0.0; r <= 100; r += step {
-		res := dlrm.Run(sys, cfg, "CXL-A", r, 24, dlrm.SNCAlone)
-		samples = append(samples, res.Sample)
-		thr = append(thr, res.QueriesPerSec/base)
+		ratios = append(ratios, r)
+	}
+	res := sweepPoints(o, len(ratios), func(i int) dlrm.Result {
+		return dlrm.Run(sys, cfg, "CXL-A", ratios[i], 24, dlrm.SNCAlone)
+	})
+	base := res[0].QueriesPerSec // ratios[0] == 0: the DDR-only baseline
+	for _, r := range res {
+		samples = append(samples, r.Sample)
+		thr = append(thr, r.QueriesPerSec/base)
 	}
 	return samples, thr
 }
 
 // fitDLRMEstimator builds the paper's estimator.
-func fitDLRMEstimator(sys *topo.System) *core.Estimator {
-	samples, thr := dlrmOperatingPoints(sys, 5)
+func fitDLRMEstimator(o Options, sys *topo.System) *core.Estimator {
+	samples, thr := dlrmOperatingPoints(o, sys, 5)
 	est, err := core.FitEstimator(samples, thr)
 	if err != nil {
 		panic(err)
@@ -62,7 +68,7 @@ func fitDLRMEstimator(sys *topo.System) *core.Estimator {
 
 func runFig11a(o Options) *Table {
 	sys := topo.NewSystem(topo.DefaultConfig())
-	samples, thr := dlrmOperatingPoints(sys, 10)
+	samples, thr := dlrmOperatingPoints(o, sys, 10)
 	t := &Table{
 		ID:      "fig11a",
 		Title:   "DLRM normalized throughput vs consumed system bandwidth",
@@ -77,7 +83,7 @@ func runFig11a(o Options) *Table {
 
 func runFig11b(o Options) *Table {
 	sys := topo.NewSystem(topo.DefaultConfig())
-	samples, thr := dlrmOperatingPoints(sys, 10)
+	samples, thr := dlrmOperatingPoints(o, sys, 10)
 	t := &Table{
 		ID:      "fig11b",
 		Title:   "DLRM normalized throughput vs L1 miss latency",
@@ -94,7 +100,7 @@ func runFig11b(o Options) *Table {
 
 func runFig12a(o Options) *Table {
 	sys := topo.NewSystem(topo.DefaultConfig())
-	est := fitDLRMEstimator(sys)
+	est := fitDLRMEstimator(o, sys)
 	cfg := dlrm.DefaultConfig()
 	base := dlrm.Run(sys, cfg, "CXL-A", 0, 24, dlrm.SNCAlone).QueriesPerSec
 
@@ -108,10 +114,15 @@ func runFig12a(o Options) *Table {
 		Title:   "DLRM: measured throughput vs Caption model output over a ratio staircase",
 		Headers: []string{"Interval", "CXL %", "Norm. throughput", "Model output", "Pearson so far"},
 	}
+	// The staircase steps are independent operating points; only the
+	// smoothing sampler below is sequential.
+	stairRes := sweepPoints(o, len(stair), func(i int) dlrm.Result {
+		return dlrm.Run(sys, cfg, "CXL-A", stair[i], 24, dlrm.SNCAlone)
+	})
 	sampler := telemetry.NewSampler(core.MonitorWindow)
 	i := 0
-	for _, r := range stair {
-		res := dlrm.Run(sys, cfg, "CXL-A", r, 24, dlrm.SNCAlone)
+	for si, r := range stair {
+		res := stairRes[si]
 		for k := 0; k < perStep; k++ {
 			smoothed := sampler.Add(res.Sample)
 			m := est.Estimate(smoothed)
@@ -156,7 +167,7 @@ func steadyMean(xs []float64) float64 {
 
 func runFig12b(o Options) *Table {
 	sys := topo.NewSystem(topo.DefaultConfig())
-	est := fitDLRMEstimator(sys)
+	est := fitDLRMEstimator(o, sys)
 	mix := []spec.Member{{Profile: spec.Roms, Instances: 8}, {Profile: spec.Mcf, Instances: 8}}
 	base := spec.Run(sys, mix, "CXL-A", 0).GIPS
 
@@ -220,20 +231,28 @@ func fig13Cases(sys *topo.System, o Options) []fig13Case {
 
 func runFig13(o Options) *Table {
 	sys := topo.NewSystem(topo.DefaultConfig())
-	est := fitDLRMEstimator(sys)
+	est := fitDLRMEstimator(o, sys)
 
 	t := &Table{
 		ID:      "fig13",
 		Title:   "Throughput normalized to the default 50:50 static policy",
 		Headers: []string{"Benchmark", "DDR 100:0", "50:50", "Caption", "Caption ratio"},
 	}
-	for _, c := range fig13Cases(sys, o) {
+	// Each benchmark row — two static policies plus a 40-interval Caption
+	// timeline — is an independent sweep point; only the timeline's control
+	// loop is inherently sequential.
+	cases := fig13Cases(sys, o)
+	rows := sweepPoints(o, len(cases), func(i int) []string {
+		c := cases[i]
 		ddr, _ := c.eval(0)
 		half, _ := c.eval(50)
 		ratios, thr, _ := captionTimeline(est, c.eval, 40)
 		capThr := steadyMean(thr)
 		capRatio := steadyMean(ratios)
-		t.AddRow(c.name, f2(ddr/half), f2(half/half), f2(capThr/half), fmt.Sprintf("%.0f%%", capRatio))
+		return []string{c.name, f2(ddr / half), f2(half / half), f2(capThr / half), fmt.Sprintf("%.0f%%", capRatio)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: Caption beats the best static policy by 19/18/8/20%% (singles) and 24/1/4%% (mixes), allocating 29-41%% to CXL")
 	return t

@@ -20,6 +20,10 @@ type Options struct {
 	Quick bool
 	// Seed perturbs the stochastic components.
 	Seed uint64
+	// Parallel is the worker count for independent sweep points; 0 uses
+	// every available CPU. Any value produces byte-identical tables — the
+	// sweep engine orders results by operating-point index.
+	Parallel int
 }
 
 // DefaultOptions returns the full-fidelity settings.

@@ -51,12 +51,17 @@ func runFig3(o Options) *Table {
 		Title:   "Random access latency normalized to DDR5-L (per measurement tool)",
 		Headers: []string{"Device", "MLC", "memo ld", "memo nt-ld", "memo st", "memo nt-st"},
 	}
-	for _, p := range sys.ComparisonPaths() {
+	paths := sys.ComparisonPaths()
+	rows := sweepPoints(o, len(paths), func(i int) []string {
+		p := paths[i]
 		row := []string{p.Name, f2(p.SerialLatency(mem.Load).Nanoseconds() / mlcBase)}
 		for _, ty := range mem.InstrTypes() {
 			v := memo.InstrLatency(p, ty, cfg).Nanoseconds()
 			row = append(row, f2(v/memoBase[ty]))
 		}
+		return row
+	})
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.AddNote("absolute DDR5-L: MLC %.1f ns; memo ld %.1f ns", mlcBase, memoBase[mem.Load])
@@ -71,12 +76,16 @@ func runFig4a(o Options) *Table {
 		Title:   "MLC bandwidth efficiency (fraction of theoretical peak)",
 		Headers: []string{"Device", "All read", "3:1-RW", "2:1-RW", "1:1-RW"},
 	}
-	for _, p := range sys.ComparisonPaths() {
-		sweep := mlc.MixSweep(p)
-		row := []string{p.Name}
+	paths := sys.ComparisonPaths()
+	rows := sweepPoints(o, len(paths), func(i int) []string {
+		sweep := mlc.MixSweep(paths[i])
+		row := []string{paths[i].Name}
 		for _, m := range mem.MixPoints() {
 			row = append(row, pct(sweep[m].Efficiency))
 		}
+		return row
+	})
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.AddNote("paper O4: all-read 70/46/47/20%%; CXL-A overtakes DDR5-R as the write share grows (+23 pts at 2:1)")
@@ -90,12 +99,16 @@ func runFig4b(o Options) *Table {
 		Title:   "memo bandwidth efficiency per instruction type",
 		Headers: []string{"Device", "ld", "nt-ld", "st", "nt-st"},
 	}
-	for _, p := range sys.ComparisonPaths() {
-		bw := memo.AllBandwidths(p)
-		row := []string{p.Name}
+	paths := sys.ComparisonPaths()
+	rows := sweepPoints(o, len(paths), func(i int) []string {
+		bw := memo.AllBandwidths(paths[i])
+		row := []string{paths[i].Name}
 		for _, ty := range mem.InstrTypes() {
 			row = append(row, pct(bw[ty].Efficiency))
 		}
+		return row
+	})
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.AddNote("paper O5: st drops vs ld by 74/31/59/15%%; CXL-A st beats DDR5-R st by ~12 pts; nt-st gap shrinks to ~6 pts")
@@ -105,12 +118,14 @@ func runFig4b(o Options) *Table {
 func runFig5(o Options) *Table {
 	const buf = 32 << 20
 	samples := o.scale(200000)
-	measure := func(device string) float64 {
+	// Each measurement mutates its system's cache state, so every sweep
+	// point builds a private System.
+	devices := []string{"DDR5-L", "CXL-A"}
+	lats := sweepPoints(o, len(devices), func(i int) float64 {
 		sys := topo.NewSystem(topo.DefaultConfig()) // SNC on
-		return mlc.BufferLatency(sys, sys.Path(device), buf, samples, o.Seed+3).Nanoseconds()
-	}
-	ddr := measure("DDR5-L")
-	cxl := measure("CXL-A")
+		return mlc.BufferLatency(sys, sys.Path(devices[i]), buf, samples, o.Seed+3).Nanoseconds()
+	})
+	ddr, cxl := lats[0], lats[1]
 
 	t := &Table{
 		ID:      "fig5",

@@ -4,6 +4,14 @@
 // mempolicy patch (§5): membind, preferred, and weighted interleave with a
 // runtime-adjustable percentage of pages allocated to CXL memory — the knob
 // Caption turns.
+//
+// Allocation is the hot path of every experiment regeneration, so the
+// policies expose a bulk interface alongside the page-at-a-time one (see
+// DESIGN.md §4): BulkPolicy.NextN answers "how many of the next n pages land
+// on each node" in closed form, and Placer.PlaceN materializes the exact
+// per-page sequence with a single lock acquisition and no per-page
+// interface dispatch. Space.Alloc uses the bulk path whenever the policy
+// supports it.
 package numa
 
 import (
@@ -32,6 +40,32 @@ type Policy interface {
 	Next() int
 }
 
+// BulkPolicy is a Policy that can account for a batch of allocations in one
+// call. NextN advances the policy by exactly n steps and adds the number of
+// pages each node received to counts (indexed by node ID); the result is
+// identical to n sequential Next calls, but a policy may compute it in
+// closed form — Weighted does so in O(nodes²·log n) with a single lock
+// acquisition instead of O(n·nodes) with n lock acquisitions.
+type BulkPolicy interface {
+	Policy
+	// NextN performs n allocation steps at once. counts must have at least
+	// as many entries as the policy has nodes; per-node totals are added in
+	// place.
+	NextN(n int, counts []int64)
+}
+
+// Placer is an optional extension of BulkPolicy for policies whose exact
+// per-page placement order matters (weighted interleave spreads pages
+// smoothly; a block fill would change which addresses land on CXL). PlaceN
+// writes the node ID of each of the next len(dst) pages into dst — the same
+// sequence len(dst) Next calls would produce — and adds per-node totals to
+// counts.
+type Placer interface {
+	Policy
+	// PlaceN materializes the next len(dst) placements.
+	PlaceN(dst []uint8, counts []int64)
+}
+
 // Membind always allocates from a single node (numactl --membind).
 type Membind struct {
 	// Node is the target node ID.
@@ -40,6 +74,23 @@ type Membind struct {
 
 // Next implements Policy.
 func (m *Membind) Next() int { return m.Node }
+
+// NextN implements BulkPolicy.
+func (m *Membind) NextN(n int, counts []int64) {
+	if n < 0 {
+		panic("numa: negative bulk allocation")
+	}
+	counts[m.Node] += int64(n)
+}
+
+// PlaceN implements Placer.
+func (m *Membind) PlaceN(dst []uint8, counts []int64) {
+	id := uint8(m.Node)
+	for i := range dst {
+		dst[i] = id
+	}
+	counts[m.Node] += int64(len(dst))
+}
 
 // Preferred allocates from the preferred node until its capacity is
 // exhausted, then falls back through the remaining order (numactl
@@ -78,15 +129,87 @@ func (p *Preferred) Next() int {
 	return p.Order[len(p.Order)-1]
 }
 
+// NextN implements BulkPolicy: the preferred fill order is deterministic, so
+// n steps drain the order front to back in one pass.
+func (p *Preferred) NextN(n int, counts []int64) {
+	if n < 0 {
+		panic("numa: negative bulk allocation")
+	}
+	left := int64(n)
+	for _, id := range p.Order {
+		if left == 0 {
+			return
+		}
+		take := p.Remaining[id]
+		if take > left {
+			take = left
+		}
+		if take > 0 {
+			p.Remaining[id] -= take
+			counts[id] += take
+			left -= take
+		}
+	}
+	if left > 0 { // overcommit the last candidate
+		counts[p.Order[len(p.Order)-1]] += left
+	}
+}
+
+// PlaceN implements Placer: the sequence is the same front-to-back drain.
+func (p *Preferred) PlaceN(dst []uint8, counts []int64) {
+	i := 0
+	for _, id := range p.Order {
+		if i == len(dst) {
+			return
+		}
+		take := p.Remaining[id]
+		if take > int64(len(dst)-i) {
+			take = int64(len(dst) - i)
+		}
+		for k := int64(0); k < take; k++ {
+			dst[i] = uint8(id)
+			i++
+		}
+		p.Remaining[id] -= take
+		counts[id] += take
+	}
+	if i < len(dst) {
+		last := p.Order[len(p.Order)-1]
+		counts[last] += int64(len(dst) - i)
+		for ; i < len(dst); i++ {
+			dst[i] = uint8(last)
+		}
+	}
+}
+
+// weightScale is the fixed-point resolution of Weighted: weights are stored
+// as integer shares summing to weightScale, so scheduling is exact integer
+// arithmetic (reproducible and closed-form computable). Requested weights
+// are honored to within 1/weightScale of their normalized value.
+const weightScale = 1 << 16
+
 // Weighted implements the N:M weighted-interleave mempolicy (the kernel
 // patch the paper uses to place, e.g., 25 % of pages on the CXL node). It is
 // safe for concurrent use and the weights can be changed at runtime: changes
 // affect only future allocations, exactly like the real mempolicy — this is
 // the interface Caption's tuner drives.
+//
+// Scheduling is deterministic smooth weighted interleave with an exact
+// closed form (the sequentialized Sainte-Laguë divisor method): node i's
+// k-th page is scheduled at time ((k−½)·S − c_i)/w_i — S the fixed-point
+// scale, w_i the node's integer share, c_i its credit — and every step picks
+// the earliest pending time. Ties are broken toward the lowest node ID, and
+// zero-weight nodes are never chosen. Over any window the realized split
+// tracks the weights to within one page per node; equal weights degrade to
+// plain round-robin starting at node 0. Next() and NextN(n) are the same
+// schedule: folding a batch into the credits shifts every node's pending
+// times by the same constant, so NextN(a+b) ≡ NextN(a);NextN(b) ≡ a+b
+// single steps, exactly.
 type Weighted struct {
 	mu      sync.Mutex
-	weights []float64
-	credit  []float64
+	weights []int64   // fixed-point shares, sum == weightScale
+	credit  []int64   // same fixed-point units
+	norm    []float64 // normalized requested weights, for reporting
 }
 
 // NewWeighted creates a weighted-interleave policy over len(weights) nodes.
@@ -109,6 +232,8 @@ func NewDDRCXLSplit(cxlPercent float64) *Weighted {
 }
 
 // SetWeights atomically replaces the weights (future allocations only).
+// Credits — and with them the smooth phase of the schedule — carry over when
+// the node count is unchanged, as in the kernel mempolicy.
 func (w *Weighted) SetWeights(weights []float64) error {
 	if len(weights) == 0 {
 		return fmt.Errorf("numa: empty weights")
@@ -123,16 +248,51 @@ func (w *Weighted) SetWeights(weights []float64) error {
 	if sum <= 0 {
 		return fmt.Errorf("numa: weights sum to zero")
 	}
+	norm := make([]float64, len(weights))
+	for i, v := range weights {
+		norm[i] = v / sum
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.weights = make([]float64, len(weights))
-	for i, v := range weights {
-		w.weights[i] = v / sum
-	}
+	w.norm = norm
+	w.weights = quantize(norm, w.weights)
 	if len(w.credit) != len(weights) {
-		w.credit = make([]float64, len(weights))
+		w.credit = make([]int64, len(weights))
 	}
 	return nil
+}
+
+// quantize converts normalized weights into integer shares summing to
+// weightScale using largest-remainder rounding (ties toward the lowest node
+// ID). A node keeps a zero share only if its requested weight rounds below
+// half a share; every positive requested weight of at least 1/weightScale of
+// the total is representable.
+func quantize(norm []float64, reuse []int64) []int64 {
+	out := reuse
+	if len(out) != len(norm) {
+		out = make([]int64, len(norm))
+	}
+	total := int64(0)
+	rem := make([]float64, len(norm))
+	for i, v := range norm {
+		exact := v * weightScale
+		fl := int64(exact)
+		out[i] = fl
+		rem[i] = exact - float64(fl)
+		total += fl
+	}
+	for total < weightScale {
+		best := -1
+		for i, r := range rem {
+			if norm[i] > 0 && (best < 0 || r > rem[best]) {
+				best = i
+			}
+		}
+		out[best]++
+		rem[best] = -1
+		total++
+	}
+	return out
 }
 
 // SetCXLPercent adjusts a two-node policy's CXL share (node 1).
@@ -150,27 +310,194 @@ func (w *Weighted) SetCXLPercent(p float64) error {
 func (w *Weighted) CXLPercent() float64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if len(w.weights) < 2 {
+	if len(w.norm) < 2 {
 		return 0
 	}
-	return w.weights[1] * 100
+	return w.norm[1] * 100
 }
 
-// Next implements Policy with deterministic largest-credit scheduling: over
-// any window of allocations the realized split tracks the weights exactly
-// (a smooth weighted round-robin rather than a random draw).
+// step performs one scheduling step: the node whose next pending time
+// (weightScale − 2·credit)/(2·weight) is smallest wins, ties to the lowest
+// node ID; then every credit grows by its weight and the winner is charged
+// one whole share. Identical to NextN(1). Caller holds w.mu.
+func (w *Weighted) step() int {
+	best := -1
+	var bestNum, bestW int64
+	for i, wt := range w.weights {
+		if wt == 0 {
+			continue
+		}
+		num := weightScale - 2*w.credit[i]
+		// x_i < x_best  ⟺  num_i·w_best < num_best·w_i (weights positive).
+		if best < 0 || num*bestW < bestNum*wt {
+			best, bestNum, bestW = i, num, wt
+		}
+	}
+	for i, wt := range w.weights {
+		w.credit[i] += wt
+	}
+	w.credit[best] -= weightScale
+	return best
+}
+
+// Next implements Policy with deterministic earliest-deadline scheduling:
+// over any window of allocations the realized split tracks the weights
+// exactly (a smooth weighted round-robin rather than a random draw). Ties
+// break to the lowest node ID.
 func (w *Weighted) Next() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	best := -1
+	return w.step()
+}
+
+// maxBulk bounds one closed-form batch so every intermediate product fits
+// int64 with weightScale-sized operands: rank() multiplies a
+// (2·maxBulk·weightScale)-sized numerator by a weight.
+const maxBulk = 1 << 28
+
+// NextN implements BulkPolicy in closed form. The smooth-WRR schedule is the
+// sequentialized Sainte-Laguë (Webster) divisor method: node i receives its
+// k-th page at "time" ((k−½)·S − c_i)/w_i (S = weightScale, c_i the credit
+// when the batch starts), and the n steps pick the n smallest such times,
+// ties toward the lowest node ID. Counting how many of the n smallest times
+// belong to each node is a rank selection over per-node arithmetic
+// progressions — O(nodes²·log n) integer work and one lock acquisition,
+// instead of n locked scans. The per-node counts and the credit update are
+// bit-identical to n sequential Next calls (see TestWeightedNextNMatchesNext).
+func (w *Weighted) NextN(n int, counts []int64) {
+	if n < 0 {
+		panic("numa: negative bulk allocation")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for n > maxBulk {
+		w.bulkCounts(maxBulk, counts)
+		n -= maxBulk
+	}
+	if n > 0 {
+		w.bulkCounts(n, counts)
+	}
+}
+
+// bulkCounts advances the schedule by n <= maxBulk steps. Caller holds w.mu.
+// Every node's rank is computed against the batch's starting credits; the
+// credit fold happens only once all counts are known.
+func (w *Weighted) bulkCounts(n int, counts []int64) {
+	var local [8]int64
+	per := local[:0]
+	if len(w.weights) > len(local) {
+		per = make([]int64, 0, len(w.weights))
+	}
+	total := int64(0)
 	for i := range w.weights {
-		w.credit[i] += w.weights[i]
-		if w.weights[i] > 0 && (best < 0 || w.credit[i] > w.credit[best]) {
-			best = i
+		if w.weights[i] == 0 {
+			per = append(per, 0)
+			continue
+		}
+		// Binary search the largest k whose global rank is within n.
+		lo, hi := int64(0), int64(n) // rank(lo) <= n < rank(hi+1) invariant
+		for lo < hi {
+			k := (lo + hi + 1) / 2
+			if w.rank(i, k) <= int64(n) {
+				lo = k
+			} else {
+				hi = k - 1
+			}
+		}
+		per = append(per, lo)
+		total += lo
+	}
+	if total != int64(n) {
+		panic(fmt.Sprintf("numa: bulk schedule accounted %d of %d pages (weights=%v credits=%v)", total, n, w.weights, w.credit))
+	}
+	for i, k := range per {
+		counts[i] += k
+		w.credit[i] += int64(n)*w.weights[i] - k*weightScale
+	}
+}
+
+// rank returns the 1-based position of node i's k-th allocation in the
+// global schedule: the number of (node, seat) pairs scheduled no later than
+// it. Node i's k-th seat has priority time ((2k−1)·S − 2c_i)/(2w_i); a pair
+// of node j ranks earlier on a strictly smaller time, with exact ties going
+// to the lower node ID. All comparisons are cross-multiplied integers.
+func (w *Weighted) rank(i int, k int64) int64 {
+	wi := w.weights[i]
+	b := (2*k - 1) * weightScale // priority numerator of (i, k), times 2w_i...
+	bi := b - 2*w.credit[i]      // ...shifted by node i's credit
+	r := k
+	for j, wj := range w.weights {
+		if j == i || wj == 0 {
+			continue
+		}
+		// Seats l of node j with ((2l−1)S − 2c_j)·w_i  ≤/<  bi·w_j.
+		num := bi*wj + (weightScale+2*w.credit[j])*wi
+		den := 2 * weightScale * wi
+		if j > i {
+			num-- // strict: ties rank after node i
+		}
+		if l := floorDiv(num, den); l > 0 {
+			r += l
 		}
 	}
-	w.credit[best]--
-	return best
+	return r
+}
+
+// floorDiv returns floor(a/b) for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// PlaceN implements Placer: the exact smooth-WRR sequence, materialized with
+// one lock acquisition and a tight integer loop (the two-node DDR:CXL case —
+// every application experiment — runs branch-light and inlined).
+func (w *Weighted) PlaceN(dst []uint8, counts []int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.weights) == 2 {
+		w0, w1 := w.weights[0], w.weights[1]
+		c0, c1 := w.credit[0], w.credit[1]
+		var n1 int64
+		switch {
+		case w1 == 0:
+			for i := range dst {
+				dst[i] = 0
+			}
+		case w0 == 0:
+			for i := range dst {
+				dst[i] = 1
+			}
+			n1 = int64(len(dst))
+		default:
+			for i := range dst {
+				// Node 1 wins on a strictly earlier pending time; ties go
+				// to node 0 (same rule as step, specialized to two nodes).
+				if (weightScale-2*c1)*w0 < (weightScale-2*c0)*w1 {
+					dst[i] = 1
+					c0 += w0
+					c1 += w1 - weightScale
+					n1++
+				} else {
+					dst[i] = 0
+					c0 += w0 - weightScale
+					c1 += w1
+				}
+			}
+		}
+		w.credit[0], w.credit[1] = c0, c1
+		counts[0] += int64(len(dst)) - n1
+		counts[1] += n1
+		return
+	}
+	for i := range dst {
+		id := w.step()
+		dst[i] = uint8(id)
+		counts[id]++
+	}
 }
 
 // Space is a paged address space with per-page node placement.
@@ -179,6 +506,12 @@ type Space struct {
 	policy Policy
 	pages  []uint8 // node ID per page
 	counts []int64 // pages per node
+
+	// byNode holds per-node page indices, built lazily on the first call
+	// that needs them (migration policies) and maintained incrementally
+	// afterwards; pos is each page's position within its node's list.
+	byNode [][]int32
+	pos    []int32
 }
 
 // NewSpace creates an empty address space over the given nodes with the
@@ -210,19 +543,68 @@ func (s *Space) SetPolicy(p Policy) {
 }
 
 // Alloc extends the space by n pages placed per the policy and returns the
-// index of the first new page.
+// index of the first new page. The page store is grown once; placement takes
+// the policy's bulk path when available (Placer, then BulkPolicy) and falls
+// back to per-page Next calls otherwise.
 func (s *Space) Alloc(n int) int {
 	if n < 0 {
 		panic("numa: negative allocation")
 	}
 	first := len(s.pages)
-	for i := 0; i < n; i++ {
-		id := s.policy.Next()
-		if id < 0 || id >= len(s.nodes) {
-			panic(fmt.Sprintf("numa: policy returned invalid node %d", id))
+	if cap(s.pages) < first+n {
+		// One allocation for the batch, with doubling headroom so
+		// incremental callers keep append's amortized O(1) growth.
+		newCap := first + n
+		if doubled := 2 * cap(s.pages); doubled > newCap {
+			newCap = doubled
 		}
-		s.pages = append(s.pages, uint8(id))
-		s.counts[id]++
+		grown := make([]uint8, first, newCap)
+		copy(grown, s.pages)
+		s.pages = grown
+	}
+	s.pages = s.pages[: first+n : cap(s.pages)]
+	dst := s.pages[first:]
+
+	switch p := s.policy.(type) {
+	case Placer:
+		p.PlaceN(dst, s.counts)
+		// Keep the sequential path's invariant: a misbehaving policy gets
+		// a named panic here, not a far-away index corruption.
+		for _, id := range dst {
+			if int(id) >= len(s.nodes) {
+				panic(fmt.Sprintf("numa: policy placed invalid node %d", id))
+			}
+		}
+	case BulkPolicy:
+		// Totals-only policy: materialize in ascending node order.
+		batch := make([]int64, len(s.nodes))
+		p.NextN(n, batch)
+		i := 0
+		for id, c := range batch {
+			if c < 0 || c > int64(n-i) {
+				panic(fmt.Sprintf("numa: policy returned invalid count %d for node %d", c, id))
+			}
+			s.counts[id] += c
+			for ; c > 0; c-- {
+				dst[i] = uint8(id)
+				i++
+			}
+		}
+		if i != n {
+			panic(fmt.Sprintf("numa: policy accounted %d of %d pages", i, n))
+		}
+	default:
+		for i := range dst {
+			id := s.policy.Next()
+			if id < 0 || id >= len(s.nodes) {
+				panic(fmt.Sprintf("numa: policy returned invalid node %d", id))
+			}
+			dst[i] = uint8(id)
+			s.counts[id]++
+		}
+	}
+	if s.byNode != nil {
+		s.indexPages(first)
 	}
 	return first
 }
@@ -266,16 +648,60 @@ func (s *Space) Move(i, to int) {
 	s.pages[i] = uint8(to)
 	s.counts[from]--
 	s.counts[to]++
+	if s.byNode != nil {
+		// Swap-remove from the old node's list, append to the new one.
+		list := s.byNode[from]
+		p := s.pos[i]
+		last := list[len(list)-1]
+		list[p] = last
+		s.pos[last] = p
+		s.byNode[from] = list[:len(list)-1]
+		s.pos[i] = int32(len(s.byNode[to]))
+		s.byNode[to] = append(s.byNode[to], int32(i))
+	}
 }
 
-// PagesOnNode returns the indices of every page on the given node —
-// O(pages); used by migration policies, not hot paths.
-func (s *Space) PagesOnNode(node int) []int {
-	var out []int
-	for i, p := range s.pages {
-		if int(p) == node {
-			out = append(out, i)
-		}
+// buildIndex constructs the per-node page lists from scratch.
+func (s *Space) buildIndex() {
+	s.byNode = make([][]int32, len(s.nodes))
+	for id, c := range s.counts {
+		s.byNode[id] = make([]int32, 0, c)
 	}
-	return out
+	s.pos = make([]int32, 0, cap(s.pages))
+	s.indexPages(0)
+}
+
+// indexPages appends pages [from, len) to the per-node lists.
+func (s *Space) indexPages(from int) {
+	for i := from; i < len(s.pages); i++ {
+		id := s.pages[i]
+		s.pos = append(s.pos, int32(len(s.byNode[id])))
+		s.byNode[id] = append(s.byNode[id], int32(i))
+	}
+}
+
+// AppendPagesOnNode appends the index of every page on the given node to dst
+// and returns it — O(pages on node) from the maintained per-node index (the
+// first call pays a one-time O(pages) index build). The order is arbitrary
+// but deterministic. Migration policies pass a reused buffer to stay
+// allocation-free across scans.
+func (s *Space) AppendPagesOnNode(dst []int, node int) []int {
+	if s.byNode == nil {
+		s.buildIndex()
+	}
+	list := s.byNode[node]
+	if need := len(dst) + len(list); cap(dst) < need {
+		grown := make([]int, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, p := range list {
+		dst = append(dst, int(p))
+	}
+	return dst
+}
+
+// PagesOnNode returns the indices of every page on the given node.
+func (s *Space) PagesOnNode(node int) []int {
+	return s.AppendPagesOnNode(nil, node)
 }

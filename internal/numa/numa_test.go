@@ -242,3 +242,195 @@ func TestFractionEmptySpace(t *testing.T) {
 		t.Error("empty space fraction should be 0")
 	}
 }
+
+// refWeighted mirrors a Weighted policy step by step through the public
+// page-at-a-time interface; the bulk paths must reproduce it exactly.
+func refCounts(w *Weighted, nodes, n int) []int64 {
+	counts := make([]int64, nodes)
+	for i := 0; i < n; i++ {
+		counts[w.Next()]++
+	}
+	return counts
+}
+
+func TestWeightedTieBreakDeterminism(t *testing.T) {
+	// Documented tie rule: equal credits go to the lowest node ID, so equal
+	// weights degrade to plain round-robin starting at node 0.
+	w := NewWeighted([]float64{1, 1, 1})
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	for i, wi := range want {
+		if got := w.Next(); got != wi {
+			t.Fatalf("step %d: got node %d, want %d", i, got, wi)
+		}
+	}
+	// 2:1 from a fresh policy follows the documented smooth prefix.
+	w = NewWeighted([]float64{2, 1})
+	want = []int{0, 1, 0, 0, 1, 0}
+	for i, wi := range want {
+		if got := w.Next(); got != wi {
+			t.Fatalf("2:1 step %d: got node %d, want %d", i, got, wi)
+		}
+	}
+}
+
+func TestWeightedNextNMatchesNext(t *testing.T) {
+	// Property: NextN(n) produces exactly the per-node counts of n
+	// sequential Next() calls, from any reachable state, for random weight
+	// vectors — the closed form and the scheduler are the same algorithm.
+	rng := newTestRng(42)
+	for trial := 0; trial < 300; trial++ {
+		nodes := 1 + int(rng.next()%6)
+		weights := make([]float64, nodes)
+		sum := 0.0
+		for i := range weights {
+			if rng.next()%5 == 0 {
+				weights[i] = 0 // zero-weight nodes must never be chosen
+			} else {
+				weights[i] = float64(1 + rng.next()%1000)
+			}
+			sum += weights[i]
+		}
+		if sum == 0 {
+			weights[0] = 3
+		}
+		a := NewWeighted(weights)
+		b := NewWeighted(weights)
+		// Random warm-up so the batch starts from a mid-schedule state.
+		for i := uint64(0); i < rng.next()%50; i++ {
+			a.Next()
+			b.Next()
+		}
+		for batch := 0; batch < 4; batch++ {
+			n := int(rng.next() % 5000)
+			got := make([]int64, nodes)
+			a.NextN(n, got)
+			want := refCounts(b, nodes, n)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d weights %v batch %d n=%d: NextN=%v, sequential=%v",
+						trial, weights, batch, n, got, want)
+				}
+			}
+		}
+		// The two schedulers must also land in the same state: their next
+		// picks agree.
+		for i := 0; i < 20; i++ {
+			if ga, gb := a.Next(), b.Next(); ga != gb {
+				t.Fatalf("trial %d: post-batch divergence %d vs %d", trial, ga, gb)
+			}
+		}
+	}
+}
+
+func TestWeightedPlaceNMatchesNext(t *testing.T) {
+	rng := newTestRng(7)
+	for trial := 0; trial < 100; trial++ {
+		nodes := 1 + int(rng.next()%5)
+		weights := make([]float64, nodes)
+		for i := range weights {
+			weights[i] = float64(rng.next() % 100)
+		}
+		weights[int(rng.next()%uint64(nodes))] += 1 // ensure positive sum
+		a := NewWeighted(weights)
+		b := NewWeighted(weights)
+		n := int(rng.next() % 2000)
+		dst := make([]uint8, n)
+		counts := make([]int64, nodes)
+		a.PlaceN(dst, counts)
+		var placed [8]int64
+		for i, id := range dst {
+			if want := b.Next(); int(id) != want {
+				t.Fatalf("trial %d page %d: PlaceN chose %d, Next chose %d", trial, i, id, want)
+			}
+			placed[id]++
+		}
+		for i := range counts {
+			if counts[i] != placed[i] {
+				t.Fatalf("trial %d: counts %v disagree with placements %v", trial, counts, placed[:nodes])
+			}
+		}
+	}
+}
+
+func TestWeightedRuntimeWeightChangeKeepsPhase(t *testing.T) {
+	// SetWeights with the same node count preserves credits: the bulk and
+	// sequential schedulers must still agree across the change.
+	a := NewWeighted([]float64{3, 1})
+	b := NewWeighted([]float64{3, 1})
+	ca := make([]int64, 2)
+	a.NextN(17, ca)
+	refCounts(b, 2, 17)
+	if err := a.SetWeights([]float64{1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetWeights([]float64{1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, 2)
+	a.NextN(1000, got)
+	want := refCounts(b, 2, 1000)
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("post-SetWeights counts %v != %v", got, want)
+	}
+}
+
+func TestSpaceAllocBulkMatchesSequential(t *testing.T) {
+	// Space.Alloc's bulk fill must place the identical per-page sequence a
+	// page-at-a-time policy would, for all three built-in policies.
+	type mk func() (Policy, Policy)
+	cases := map[string]mk{
+		"weighted": func() (Policy, Policy) { return NewDDRCXLSplit(37), NewDDRCXLSplit(37) },
+		"membind":  func() (Policy, Policy) { return &Membind{Node: 1}, &Membind{Node: 1} },
+		"preferred": func() (Policy, Policy) {
+			n := []*Node{{ID: 0, Name: "a", CapacityPages: 100}, {ID: 1, Name: "b"}}
+			return NewPreferred(n), NewPreferred(n)
+		},
+	}
+	for name, make2 := range cases {
+		bulkPol, seqPol := make2()
+		bulk := NewSpace(twoNodes(), bulkPol)
+		for _, n := range []int{1, 7, 250, 0, 64} {
+			bulk.Alloc(n)
+		}
+		for i := 0; i < bulk.Pages(); i++ {
+			if got, want := bulk.NodeOfPage(i), seqPol.Next(); got != want {
+				t.Fatalf("%s: page %d on node %d, sequential policy says %d", name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSpaceIndexStaysConsistentUnderMoves(t *testing.T) {
+	s := NewSpace(twoNodes(), NewDDRCXLSplit(50))
+	s.Alloc(200)
+	_ = s.PagesOnNode(0) // force the index
+	rng := newTestRng(3)
+	for i := 0; i < 500; i++ {
+		s.Move(int(rng.next()%200), int(rng.next()%2))
+	}
+	s.Alloc(50) // index must absorb post-build allocations too
+	for node := 0; node < 2; node++ {
+		pages := s.PagesOnNode(node)
+		if int64(len(pages)) != s.PagesOn(node) {
+			t.Fatalf("node %d: index has %d pages, counts say %d", node, len(pages), s.PagesOn(node))
+		}
+		for _, p := range pages {
+			if s.NodeOfPage(p) != node {
+				t.Fatalf("node %d: page %d misindexed", node, p)
+			}
+		}
+	}
+}
+
+// testRng is a tiny local SplitMix64 so the tests don't depend on sim.
+type testRng struct{ s uint64 }
+
+func newTestRng(seed uint64) *testRng { return &testRng{s: seed} }
+
+func (r *testRng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -114,6 +114,10 @@ type Engine struct {
 	space *numa.Space
 	heat  []uint32
 
+	// cxlBuf and ddrBuf are scratch page lists reused across scans so the
+	// steady-state scan loop stays allocation-free.
+	cxlBuf, ddrBuf []int
+
 	// Promotions and Demotions count migrations performed so far.
 	Promotions, Demotions int64
 }
@@ -154,10 +158,17 @@ func (e *Engine) Scan() []Migration {
 	e.ensure(e.space.Pages() - 1)
 	var migrations []Migration
 
-	// Promotion candidates: hottest CXL pages over threshold.
-	cxlPages := e.space.PagesOnNode(e.cfg.CXLNode)
+	// Promotion candidates: hottest CXL pages over threshold. Equal heat is
+	// ordered by page index so candidate choice never depends on the
+	// space's internal index order.
+	e.cxlBuf = e.space.AppendPagesOnNode(e.cxlBuf[:0], e.cfg.CXLNode)
+	cxlPages := e.cxlBuf
 	sort.Slice(cxlPages, func(a, b int) bool {
-		return e.heat[cxlPages[a]] > e.heat[cxlPages[b]]
+		ha, hb := e.heat[cxlPages[a]], e.heat[cxlPages[b]]
+		if ha != hb {
+			return ha > hb
+		}
+		return cxlPages[a] < cxlPages[b]
 	})
 	var hot []int
 	for _, p := range cxlPages {
@@ -167,10 +178,15 @@ func (e *Engine) Scan() []Migration {
 		hot = append(hot, p)
 	}
 
-	// Demotion candidates: coldest DDR pages.
-	ddrPages := e.space.PagesOnNode(e.cfg.DDRNode)
+	// Demotion candidates: coldest DDR pages, same deterministic tie rule.
+	e.ddrBuf = e.space.AppendPagesOnNode(e.ddrBuf[:0], e.cfg.DDRNode)
+	ddrPages := e.ddrBuf
 	sort.Slice(ddrPages, func(a, b int) bool {
-		return e.heat[ddrPages[a]] < e.heat[ddrPages[b]]
+		ha, hb := e.heat[ddrPages[a]], e.heat[ddrPages[b]]
+		if ha != hb {
+			return ha < hb
+		}
+		return ddrPages[a] < ddrPages[b]
 	})
 	var cold []int
 	for _, p := range ddrPages {

@@ -150,13 +150,3 @@ func Run(sys *topo.System, cachePath *topo.Path, cfg Config, blockBytes, ios int
 		HitRate:    h,
 	}
 }
-
-// Sweep runs the full Fig. 8 block-size sweep for both placements and
-// returns (ddr, cxl) results in BlockSizes order.
-func Sweep(sys *topo.System, cxlName string, cfg Config, ios int) (ddr, cxl []Result) {
-	for _, b := range BlockSizes() {
-		ddr = append(ddr, Run(sys, sys.DDRLocal, cfg, b, ios))
-		cxl = append(cxl, Run(sys, sys.Path(cxlName), cfg, b, ios))
-	}
-	return ddr, cxl
-}

@@ -31,9 +31,10 @@ func TestHitRateCalibration(t *testing.T) {
 func TestFig8Shape(t *testing.T) {
 	sys := topo.NewSystem(topo.DefaultConfig())
 	cfg := DefaultConfig()
-	ddr, cxl := Sweep(sys, "CXL-A", cfg, 40000)
-	if len(ddr) != len(BlockSizes()) || len(cxl) != len(ddr) {
-		t.Fatal("sweep length mismatch")
+	var ddr, cxl []Result
+	for _, b := range BlockSizes() {
+		ddr = append(ddr, Run(sys, sys.DDRLocal, cfg, b, 40000))
+		cxl = append(cxl, Run(sys, sys.Path("CXL-A"), cfg, b, 40000))
 	}
 	inc := make([]float64, len(ddr))
 	for i := range ddr {

@@ -76,6 +76,14 @@ type Store struct {
 
 	bytesPerKey int
 	pagesPerKey int
+
+	// Per-node operation cost tables, precomputed at construction: path
+	// latencies are pure functions of the (immutable) topology, and
+	// ServiceTime is the hottest per-op code in every latency and
+	// throughput experiment.
+	dictWalk  [2]sim.Time // CPUPerOp + DictHops dependent loads
+	readCost  [2]sim.Time // value transfer, loads
+	writeCost [2]sim.Time // value write-back, temporal stores
 }
 
 // New builds a store with cxlPercent of its pages interleaved onto the named
@@ -104,6 +112,12 @@ func New(sys *topo.System, cfg Config, cxlName string, cxlPercent float64) *Stor
 		s.pagesPerKey = 1
 	}
 	space.Alloc(cfg.Keys * s.pagesPerKey)
+	valueLines := sim.Time((cfg.ValueBytes + mem.CacheLineBytes - 1) / mem.CacheLineBytes)
+	for node, p := range s.paths {
+		s.dictWalk[node] = cfg.CPUPerOp + sim.Time(cfg.DictHops)*p.SerialLatency(mem.Load)
+		s.readCost[node] = valueLines * p.ParallelLatency(mem.Load)
+		s.writeCost[node] = valueLines * p.ParallelLatency(mem.Store)
+	}
 	return s
 }
 
@@ -115,26 +129,18 @@ func (s *Store) pageOfKey(key int) int {
 	return (key % s.cfg.Keys) * s.pagesPerKey
 }
 
-// pathOfKey returns the device path holding the key's record.
-func (s *Store) pathOfKey(key int) *topo.Path {
-	return s.paths[s.space.NodeOfPage(s.pageOfKey(key))]
-}
-
-// ServiceTime computes the full service time of one operation.
+// ServiceTime computes the full service time of one operation from the
+// per-node cost tables: a dependent dict walk plus the value transfer.
 func (s *Store) ServiceTime(op ycsb.Op) sim.Time {
-	p := s.pathOfKey(op.Key)
-	valueLines := (s.cfg.ValueBytes + mem.CacheLineBytes - 1) / mem.CacheLineBytes
-
-	// Dependent dict walk: serialized accesses.
-	t := s.cfg.CPUPerOp + sim.Time(s.cfg.DictHops)*p.SerialLatency(mem.Load)
+	node := s.space.NodeOfPage(s.pageOfKey(op.Key))
+	t := s.dictWalk[node]
 	switch op.Type {
 	case ycsb.Read:
-		t += sim.Time(valueLines) * p.ParallelLatency(mem.Load)
+		t += s.readCost[node]
 	case ycsb.Update, ycsb.Insert:
-		t += sim.Time(valueLines) * p.ParallelLatency(mem.Store)
+		t += s.writeCost[node]
 	case ycsb.ReadModifyWrite:
-		t += sim.Time(valueLines) * p.ParallelLatency(mem.Load)
-		t += sim.Time(valueLines) * p.ParallelLatency(mem.Store)
+		t += s.readCost[node] + s.writeCost[node]
 	}
 	return t
 }

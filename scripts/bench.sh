@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# bench.sh — record the per-experiment regeneration cost as a perf trajectory.
+#
+# Runs every repository-level experiment benchmark once (quick mode, the same
+# code paths as full runs) and writes BENCH_<N>.json at the repo root mapping
+# experiment ID -> ns per regeneration:
+#
+#   scripts/bench.sh        # writes BENCH_1.json
+#   scripts/bench.sh 7      # writes BENCH_7.json (e.g. numbered by PR)
+#
+# Future PRs compare their BENCH_<N>.json against the committed history to
+# spot regressions on the hot paths.
+set -eu
+
+n="${1:-1}"
+cd "$(dirname "$0")/.."
+out="BENCH_${n}.json"
+
+go test -run '^$' -bench '^Benchmark(Table|Fig|Ablation)' -benchtime=1x . |
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/^Benchmark/, "", name)
+		sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+		if (name ~ /^Ablation/) {
+			rest = substr(name, 9)
+			id = "ablation-" tolower(rest)
+		} else {
+			id = tolower(name)
+		}
+		# $3 is already an integer literal; keep it textual so 32-bit awk
+		# %d limits cannot truncate slow entries.
+		ns[++count] = "  \"" id "\": " $3
+	}
+	END {
+		if (count == 0) {
+			print "bench.sh: no benchmark output" > "/dev/stderr"
+			exit 1
+		}
+		print "{"
+		for (i = 1; i <= count; i++) print ns[i] (i < count ? "," : "")
+		print "}"
+	}' >"$out"
+
+echo "wrote $out"
