@@ -8,6 +8,7 @@
 //	cxlbench -run all                 # regenerate everything, concurrently
 //	cxlbench -run fig13 -quick        # reduced sample counts
 //	cxlbench -run all -parallel 4     # bound the sweep worker pool
+//	cxlbench -run fig5 -fastwarm      # convergence-based cache warmup
 //	cxlbench -run fig13 -cpuprofile p # write a pprof CPU profile
 //
 // A single experiment fans its independent operating points across
@@ -35,6 +36,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sample counts")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all CPUs)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
+	fastwarm := flag.Bool("fastwarm", false, "convergence-based cache warmup (faster; last-digit shifts on fig5/ablation-llc)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
@@ -50,7 +52,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := cxlmem.RunConfig{Quick: *quick, Parallel: *parallel, Seed: *seed}
+	cfg := cxlmem.RunConfig{Quick: *quick, Parallel: *parallel, Seed: *seed, FastWarmup: *fastwarm}
 	switch {
 	case *list:
 		for _, e := range cxlmem.Experiments() {

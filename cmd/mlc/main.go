@@ -21,10 +21,11 @@ import (
 func main() {
 	mixFlag := flag.String("mix", "all", "read:write mix: all, 3:1, 2:1, 1:1")
 	buffer := flag.Bool("buffer", false, "run the 32MB SNC buffer-latency experiment")
+	fastwarm := flag.Bool("fastwarm", false, "convergence-based warmup for -buffer (faster, approximate)")
 	flag.Parse()
 
 	if *buffer {
-		runBuffer()
+		runBuffer(*fastwarm)
 		return
 	}
 	mix, err := parseMix(*mixFlag)
@@ -59,11 +60,15 @@ func parseMix(s string) (mem.MixPoint, error) {
 	}
 }
 
-func runBuffer() {
+func runBuffer(fastwarm bool) {
 	const buf = 32 << 20
+	warm := mlc.WarmupExact
+	if fastwarm {
+		warm = mlc.WarmupConverged
+	}
 	for _, name := range []string{"DDR5-L", "CXL-A"} {
 		sys := topo.NewSystem(topo.DefaultConfig()) // SNC on
-		lat := mlc.BufferLatency(sys, sys.Path(name), buf, 200000, 3)
+		lat := mlc.BufferLatencyWarm(sys, sys.Path(name), buf, 200000, 3, warm)
 		fmt.Printf("%-8s  32MB random buffer: %.1f ns avg\n", name, lat.Nanoseconds())
 	}
 	fmt.Println("(paper §4.3: DDR5-L 76.8 ns vs CXL-A 41 ns — O6)")

@@ -66,6 +66,11 @@ type RunConfig struct {
 	Parallel int
 	// Seed perturbs the stochastic components; 0 keeps the default.
 	Seed uint64
+	// FastWarmup switches the cache-simulating measurements to
+	// convergence-based warmup: much faster regeneration for fig5 and
+	// ablation-llc, at the cost of last-digit shifts versus the pinned
+	// exact-warmup tables.
+	FastWarmup bool
 }
 
 // RunExperiment regenerates the table or figure with the given ID at full
@@ -88,6 +93,7 @@ func RunExperimentCfg(id string, cfg RunConfig) (string, error) {
 	opts := experiments.DefaultOptions()
 	opts.Quick = cfg.Quick
 	opts.Parallel = cfg.Parallel
+	opts.FastWarmup = cfg.FastWarmup
 	if cfg.Seed != 0 {
 		opts.Seed = cfg.Seed
 	}

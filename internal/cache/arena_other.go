@@ -1,0 +1,7 @@
+//go:build !linux
+
+package cache
+
+// adviseHugePages is a no-op where transparent huge pages are unavailable;
+// the engine is merely slower on 4 KB TLB entries.
+func adviseHugePages(words []uint64) {}

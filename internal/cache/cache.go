@@ -11,6 +11,11 @@
 // from CXL memory sees a 2–4× larger effective LLC (observation O6,
 // Fig. 5, Table 3).
 //
+// Because the mlc measurement loops funnel millions of simulated accesses
+// through this package, the tag stores are built for throughput: one packed
+// 64-bit word per line, recency-ordered within each set (see engine.go for
+// the layout and the equivalence argument with stamp-based LRU).
+//
 // It also provides Che's approximation for LRU hit rates under zipfian
 // popularity, used by the analytic application models where simulating every
 // access would be wasteful.
@@ -53,6 +58,11 @@ func (l Level) String() string {
 	}
 }
 
+// LevelCounts is a per-Level histogram of satisfied accesses, indexed by
+// Level. The streamed measurement loops accumulate one of these instead of
+// converting every access into a latency immediately.
+type LevelCounts [Memory + 1]uint64
+
 // HomeKind classifies a line's backing device for LLC slice routing.
 type HomeKind int
 
@@ -74,27 +84,20 @@ type Home struct {
 	Node int
 }
 
-// way is one line slot in a set.
-type way struct {
-	tag   uint64
-	home  Home
-	valid bool
-	dirty bool
-	used  uint64 // LRU stamp
-}
-
 // Cache is a single set-associative, LRU write-back cache.
 // It stores tags only — the simulation tracks placement, not data.
 //
-// The tag store is allocated lazily on the first lookup/insert: building a
-// System is cheap for the many analytic experiments that never simulate an
-// access, and the store is a single flat slab rather than one slice per set.
+// The tag store is allocated lazily on the first fill: building a System is
+// cheap for the many analytic experiments that never simulate an access.
+// Storage is a single flat slab of packed tag words; engine.go holds the
+// layout and the access operations.
 type Cache struct {
-	slab     []way // flat setCount*ways tag store; nil until first touched
+	words    []uint64 // packed circular-recency tag words; nil until first fill
+	fps      []uint64 // per-set fingerprint sidecar: one 4-bit nibble per slot
+	fronts   []uint8  // per-set MRU cursor into the circular set
 	setCount int
 	ways     int
 	shift    uint // 64 - log2(setCount), for Fibonacci set hashing
-	clock    uint64
 
 	// Hits and Misses count lookups.
 	Hits, Misses uint64
@@ -104,10 +107,14 @@ type Cache struct {
 
 // NewCache builds a cache of sizeBytes capacity and the given associativity.
 // sizeBytes must be a positive multiple of ways*LineBytes; the set count is
-// rounded to a power of two (downward) for fast indexing.
+// rounded to a power of two (downward) for fast indexing. Associativity is
+// capped at MaxWays by the packed engine's per-set fingerprint word.
 func NewCache(sizeBytes int64, ways int) *Cache {
 	if ways <= 0 {
 		panic("cache: non-positive associativity")
+	}
+	if ways > MaxWays {
+		panic(fmt.Sprintf("cache: %d ways exceeds the engine's %d-slot fingerprint sidecar", ways, MaxWays))
 	}
 	lines := sizeBytes / LineBytes
 	sets := lines / int64(ways)
@@ -124,15 +131,6 @@ func NewCache(sizeBytes int64, ways int) *Cache {
 		c.shift--
 	}
 	return c
-}
-
-// set returns the ways of set idx, materializing the tag store on first use.
-func (c *Cache) set(idx uint64) []way {
-	if c.slab == nil {
-		c.slab = make([]way, c.setCount*c.ways)
-	}
-	base := int(idx) * c.ways
-	return c.slab[base : base+c.ways]
 }
 
 // Lines returns the capacity in cache lines.
@@ -154,103 +152,9 @@ func (c *Cache) setIndex(addr uint64) uint64 {
 	return (line * 0x9e3779b97f4a7c15) >> c.shift
 }
 
-// Lookup probes for addr. On a hit it refreshes LRU state, applies the dirty
-// bit for writes, and returns true.
-func (c *Cache) Lookup(addr uint64, write bool) bool {
-	set := c.set(c.setIndex(addr))
-	tag := addr / LineBytes
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			c.clock++
-			set[i].used = c.clock
-			if write {
-				set[i].dirty = true
-			}
-			c.Hits++
-			return true
-		}
-	}
-	c.Misses++
-	return false
-}
-
 // Victim is a line displaced by an insertion.
 type Victim struct {
 	Addr  uint64
 	Home  Home
 	Dirty bool
-}
-
-// Insert fills addr into the cache, returning the displaced victim (if any).
-func (c *Cache) Insert(addr uint64, home Home, dirty bool) (Victim, bool) {
-	set := c.set(c.setIndex(addr))
-	tag := addr / LineBytes
-	c.clock++
-
-	// Already present: refresh.
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].used = c.clock
-			if dirty {
-				set[i].dirty = true
-			}
-			return Victim{}, false
-		}
-	}
-	// Free way?
-	for i := range set {
-		if !set[i].valid {
-			set[i] = way{tag: tag, home: home, valid: true, dirty: dirty, used: c.clock}
-			return Victim{}, false
-		}
-	}
-	// Evict LRU.
-	lru := 0
-	for i := 1; i < len(set); i++ {
-		if set[i].used < set[lru].used {
-			lru = i
-		}
-	}
-	v := Victim{Addr: set[lru].tag * LineBytes, Home: set[lru].home, Dirty: set[lru].dirty}
-	set[lru] = way{tag: tag, home: home, valid: true, dirty: dirty, used: c.clock}
-	c.Evictions++
-	return v, true
-}
-
-// Invalidate removes addr if present, returning whether it was found and
-// whether it was dirty.
-func (c *Cache) Invalidate(addr uint64) (found, dirty bool) {
-	if c.slab == nil {
-		return false, false
-	}
-	set := c.set(c.setIndex(addr))
-	tag := addr / LineBytes
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			d := set[i].dirty
-			set[i] = way{}
-			return true, d
-		}
-	}
-	return false, false
-}
-
-// Occupancy returns the number of valid lines (O(capacity); intended for
-// tests and diagnostics).
-func (c *Cache) Occupancy() int {
-	n := 0
-	for i := range c.slab {
-		if c.slab[i].valid {
-			n++
-		}
-	}
-	return n
-}
-
-// Flush invalidates every line (clflush of the whole cache, as memo does
-// before each latency measurement).
-func (c *Cache) Flush() {
-	for i := range c.slab {
-		c.slab[i] = way{}
-	}
 }

@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Packed tag-store engine.
+//
+// Each line slot is one 64-bit word instead of the historical 40-byte way
+// struct:
+//
+//	bits 0–58   tag+1 (addr/LineBytes never exceeds 2^58, so +1 fits; a
+//	            zero word means an empty slot and zeroed slabs start valid)
+//	bit  59     dirty
+//	bit  60     home kind (set = HomeRemote)
+//	bits 61–63  home node
+//
+// The node field caps Home.Node at 7; the modeled SPR part has at most four
+// SNC nodes, and packWord panics loudly if a caller ever exceeds the packed
+// range rather than corrupting routing.
+//
+// Recency replaces the old per-way LRU stamp + clock: each set is a circular
+// buffer whose logical order starts at a per-set front cursor, most recently
+// used first; empty slots (zero words) sit at the logical tail. A fill steps
+// the cursor back and writes one slot — displacing exactly the logical-last
+// (LRU) line when the set is full — so inserts and evictions read and write
+// a single word instead of scanning stamps or shifting the set. A hit
+// promotes its line to the cursor by walking only the lines logically ahead
+// of it. Because the cursor order and the old stamp order are the same
+// total order, every lookup, fill and eviction decision is identical to the
+// old engine's — the golden-table tests prove it byte-for-byte.
+//
+// Probing never scans the ways. Each set carries a sidecar fingerprint word
+// holding a 4-bit hash nibble per physical slot (slot i at bits 4i..4i+3).
+// A probe XORs the whole fingerprint word against the probed nibble
+// replicated 16 times and extracts zero-nibble positions with the classic
+// SWAR trick, so a definite miss costs one 8-byte sidecar load and a
+// handful of ALU ops — the megabytes of tag words are read only to verify
+// the (almost always correct) candidates and to move lines on hits.
+
+const (
+	tagBits    = 59
+	ptagMask   = uint64(1)<<tagBits - 1
+	dirtyFlag  = uint64(1) << tagBits
+	remoteFlag = uint64(1) << (tagBits + 1)
+	nodeShift  = tagBits + 2
+	// MaxHomeNode is the largest Home.Node the packed word can route.
+	MaxHomeNode = 7
+
+	// MaxWays is the largest associativity the engine supports: the per-set
+	// fingerprint sidecar holds one 4-bit nibble per slot in a single
+	// 64-bit word. NewCache rejects anything larger.
+	MaxWays = 16
+
+	// fibMul is the multiplicative hash shared by set indexing (high bits),
+	// slice routing (low bits) and the fingerprint nibble (middle bits).
+	fibMul = 0x9e3779b97f4a7c15
+
+	// fpShift positions the fingerprint nibble within the line hash, away
+	// from both the set-index bits (top) and the slice-route bits (bottom).
+	fpShift = 28
+
+	swarLow  = 0x1111111111111111
+	swarHigh = 0x8888888888888888
+)
+
+// packWord encodes a line's tag, home and dirty bit into its slot word.
+func packWord(ptag uint64, home Home, dirty bool) uint64 {
+	if uint(home.Node) > MaxHomeNode {
+		panic(fmt.Sprintf("cache: home node %d exceeds packed limit %d", home.Node, MaxHomeNode))
+	}
+	w := ptag | uint64(home.Node)<<nodeShift
+	if dirty {
+		w |= dirtyFlag
+	}
+	if home.Kind == HomeRemote {
+		w |= remoteFlag
+	}
+	return w
+}
+
+// unpackHome reconstructs a line's Home from its word.
+func unpackHome(w uint64) Home {
+	kind := HomeLocalDDR
+	if w&remoteFlag != 0 {
+		kind = HomeRemote
+	}
+	return Home{Kind: kind, Node: int(w >> nodeShift)}
+}
+
+// nibbleOf extracts a line hash's fingerprint nibble.
+func nibbleOf(hash uint64) uint64 { return hash >> fpShift & 15 }
+
+// findIn returns the way holding ptag, or -1, by SWAR-matching nib against
+// the set's fingerprint word and verifying candidates against the words.
+// Empty ways have fingerprint nibble 0 and word 0, so a nib-0 probe may
+// visit empty candidates but the verify rejects them.
+func findIn(set []uint64, fp, nib, ptag uint64) int {
+	x := fp ^ nib*swarLow
+	// Bits 4i+3 flag ways whose nibble equals nib (the borrow of the SWAR
+	// subtract can add false flags above a match; verification filters
+	// both those and genuine nibble collisions).
+	m := (x - swarLow) &^ x & swarHigh
+	for m != 0 {
+		i := bits.TrailingZeros64(m) >> 2
+		if i >= len(set) {
+			return -1
+		}
+		if set[i]&ptagMask == ptag {
+			return i
+		}
+		m &= m - 1
+	}
+	return -1
+}
+
+// materialize allocates the tag slab and sidecars on first fill. Zero words
+// are empty slots, so no initialization pass is needed.
+func (c *Cache) materialize() {
+	if c.words == nil {
+		c.words = make([]uint64, c.setCount*c.ways)
+		c.fps = make([]uint64, c.setCount)
+		c.fronts = make([]uint8, c.setCount)
+	}
+}
+
+// set returns the slot words of the set holding the hashed line.
+func (c *Cache) set(hash uint64) (set []uint64, s int) {
+	s = int(hash >> c.shift)
+	b := s * c.ways
+	return c.words[b : b+c.ways], s
+}
+
+// pushSlot writes w as the set's new MRU line by stepping the recency cursor
+// back one slot, returning the displaced word — zero if that slot was empty,
+// otherwise the logical-last (LRU) line. Exactly one slot word is read and
+// written; the rest of the set is untouched.
+func (c *Cache) pushSlot(set []uint64, s int, w, nib uint64) (displaced uint64) {
+	f := int(c.fronts[s]) - 1
+	if f < 0 {
+		f = len(set) - 1
+	}
+	displaced = set[f]
+	set[f] = w
+	c.fps[s] = c.fps[s]&^(15<<(4*uint(f))) | nib<<(4*uint(f))
+	c.fronts[s] = uint8(f)
+	return displaced
+}
+
+// promoteAt moves the line at physical slot p to the logical front, walking
+// the logically-ahead slots (and their fingerprint nibbles) one position
+// back. Returns the promoted word; the cursor does not move.
+func (c *Cache) promoteAt(set []uint64, s, p int, nib uint64) uint64 {
+	fp := c.fps[s]
+	front := int(c.fronts[s])
+	w := set[p]
+	for p != front {
+		q := p - 1
+		if q < 0 {
+			q = len(set) - 1
+		}
+		set[p] = set[q]
+		fp = fp&^(15<<(4*uint(p))) | fp>>(4*uint(q))&15<<(4*uint(p))
+		p = q
+	}
+	set[front] = w
+	c.fps[s] = fp&^(15<<(4*uint(front))) | nib<<(4*uint(front))
+	return w
+}
+
+// removeSlot deletes the line at physical slot p, closing the gap by
+// walking the logically-ahead slots back and advancing the cursor; empty
+// slots stay at the logical tail.
+func (c *Cache) removeSlot(set []uint64, s, p int) {
+	fp := c.fps[s]
+	front := int(c.fronts[s])
+	for p != front {
+		q := p - 1
+		if q < 0 {
+			q = len(set) - 1
+		}
+		set[p] = set[q]
+		fp = fp&^(15<<(4*uint(p))) | fp>>(4*uint(q))&15<<(4*uint(p))
+		p = q
+	}
+	set[front] = 0
+	fp &^= 15 << (4 * uint(front))
+	f := front + 1
+	if f == len(set) {
+		f = 0
+	}
+	c.fps[s] = fp
+	c.fronts[s] = uint8(f)
+}
+
+// Lookup probes for addr. On a hit it promotes the line to the set's MRU
+// position, applies the dirty bit for writes, and returns true.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	if c.words == nil {
+		c.Misses++
+		return false
+	}
+	line := addr / LineBytes
+	hash := line * fibMul
+	set, s := c.set(hash)
+	nib := nibbleOf(hash)
+	i := findIn(set, c.fps[s], nib, line+1)
+	if i < 0 {
+		c.Misses++
+		return false
+	}
+	w := c.promoteAt(set, s, i, nib)
+	if write {
+		set[int(c.fronts[s])] = w | dirtyFlag
+	}
+	c.Hits++
+	return true
+}
+
+// Insert fills addr into the cache, returning the displaced victim (if any).
+// A line already present is promoted to MRU and its dirty bit merged.
+func (c *Cache) Insert(addr uint64, home Home, dirty bool) (Victim, bool) {
+	c.materialize()
+	line := addr / LineBytes
+	hash := line * fibMul
+	set, s := c.set(hash)
+	nib := nibbleOf(hash)
+	ptag := line + 1
+
+	if i := findIn(set, c.fps[s], nib, ptag); i >= 0 {
+		// Already present: promote, keep the original home, merge dirty.
+		w := c.promoteAt(set, s, i, nib)
+		if dirty {
+			set[int(c.fronts[s])] = w | dirtyFlag
+		}
+		return Victim{}, false
+	}
+	displaced := c.pushSlot(set, s, packWord(ptag, home, dirty), nib)
+	if displaced == 0 {
+		return Victim{}, false
+	}
+	c.Evictions++
+	return Victim{
+		Addr:  (displaced&ptagMask - 1) * LineBytes,
+		Home:  unpackHome(displaced),
+		Dirty: displaced&dirtyFlag != 0,
+	}, true
+}
+
+// remove deletes addr from its set if present and reports whether it was
+// found and whether it was dirty.
+func (c *Cache) remove(addr uint64) (found, dirty bool) {
+	if c.words == nil {
+		return false, false
+	}
+	line := addr / LineBytes
+	hash := line * fibMul
+	set, s := c.set(hash)
+	i := findIn(set, c.fps[s], nibbleOf(hash), line+1)
+	if i < 0 {
+		return false, false
+	}
+	w := set[i]
+	c.removeSlot(set, s, i)
+	return true, w&dirtyFlag != 0
+}
+
+// ProbeRemove is the LLC victim-cache operation: one combined probe that, on
+// a hit, removes the line (it is being promoted back into a private cache)
+// and reports its dirty bit. It updates Hits/Misses exactly as a Lookup
+// followed by an Invalidate used to, but touches the set once.
+func (c *Cache) ProbeRemove(addr uint64) (found, dirty bool) {
+	found, dirty = c.remove(addr)
+	if found {
+		c.Hits++
+	} else {
+		c.Misses++
+	}
+	return found, dirty
+}
+
+// Invalidate removes addr if present, returning whether it was found and
+// whether it was dirty. Unlike ProbeRemove it leaves the hit/miss counters
+// alone (it models an explicit flush, not a demand access).
+func (c *Cache) Invalidate(addr uint64) (found, dirty bool) {
+	return c.remove(addr)
+}
+
+// Occupancy returns the number of valid lines (O(capacity); intended for
+// tests and diagnostics).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, w := range c.words {
+		if w != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line (clflush of the whole cache, as memo does
+// before each latency measurement). Cursor positions are irrelevant for an
+// all-empty set, so they are left in place.
+func (c *Cache) Flush() {
+	clear(c.words)
+	clear(c.fps)
+}

@@ -63,6 +63,57 @@ type Hierarchy struct {
 
 	// LLCHits/LLCMisses aggregate slice-level statistics.
 	LLCHits, LLCMisses uint64
+
+	arena []uint64 // slab arena shared by every cache; see materializeAll
+}
+
+// materializeAll backs every not-yet-materialized cache with a slab carved
+// from one contiguous arena, madvised toward 2 MB pages. A simulated access
+// touches two or three random sets across megabytes of slab; on 4 KB pages
+// each touch costs a dTLB miss whose page walk serializes the whole stream,
+// so pooling the slabs into a huge-page arena is worth more than any
+// micro-optimization of the probe loops. Caches that already materialized
+// standalone (via Cache.Insert) keep their slabs and their state.
+func (h *Hierarchy) materializeAll() {
+	if h.arena != nil {
+		return
+	}
+	total := 0
+	for _, c := range h.all() {
+		if c.words == nil {
+			total += c.setCount*c.ways + c.setCount // words + fingerprints
+		}
+	}
+	h.arena = make([]uint64, total)
+	adviseHugePages(h.arena)
+	off := 0
+	carve := func(n int) []uint64 {
+		s := h.arena[off : off+n : off+n]
+		off += n
+		return s
+	}
+	for _, c := range h.all() {
+		if c.words != nil {
+			continue
+		}
+		c.words = carve(c.setCount * c.ways)
+	}
+	for _, c := range h.all() {
+		if c.fps == nil {
+			c.fps = carve(c.setCount)
+			c.fronts = make([]uint8, c.setCount)
+		}
+	}
+}
+
+// all yields every cache in the hierarchy, LLC slices first (they are the
+// hottest slabs, so they get the front of the arena).
+func (h *Hierarchy) all() []*Cache {
+	out := make([]*Cache, 0, 3*len(h.l1))
+	out = append(out, h.slices...)
+	out = append(out, h.l2...)
+	out = append(out, h.l1...)
+	return out
 }
 
 // NewHierarchy builds the hierarchy for the given configuration.
@@ -88,13 +139,19 @@ func (h *Hierarchy) NodeOf(core int) int {
 	return core / perNode
 }
 
-// sliceFor routes an address with the given home to its LLC slice, applying
-// the SNC isolation rules of §4.3.
-func (h *Hierarchy) sliceFor(addr uint64, home Home) int {
-	line := addr / LineBytes
-	hash := line * 0x9e3779b97f4a7c15
+// sliceRoute is the hoisted slice-routing decision for one Home: the probe
+// loops resolve it once per stream instead of once per access. slice() maps
+// a line's hash into [base, base+count) — with a mask when count is a power
+// of two (it always is on the modeled SPR part), a modulo otherwise.
+type sliceRoute struct {
+	base  int
+	count uint64
+	mask  uint64 // count-1 when count is a power of two, else 0
+}
+
+// routeFor resolves the SNC isolation rules of §4.3 for the given home.
+func (h *Hierarchy) routeFor(home Home) sliceRoute {
 	confined := false
-	node := home.Node
 	if h.cfg.SNCNodes > 1 {
 		switch home.Kind {
 		case HomeLocalDDR:
@@ -103,11 +160,35 @@ func (h *Hierarchy) sliceFor(addr uint64, home Home) int {
 			confined = !h.cfg.CXLBreaksIsolation
 		}
 	}
+	r := sliceRoute{count: uint64(h.cfg.Cores)}
 	if confined {
 		perNode := h.cfg.Cores / h.cfg.SNCNodes
-		return node*perNode + int(hash%uint64(perNode))
+		r.base = home.Node * perNode
+		r.count = uint64(perNode)
 	}
-	return int(hash % uint64(h.cfg.Cores))
+	if r.count&(r.count-1) == 0 {
+		r.mask = r.count - 1
+	}
+	return r
+}
+
+// slice routes a line (addr/LineBytes) to its LLC slice index.
+func (r sliceRoute) slice(line uint64) int {
+	return r.sliceHash(line * 0x9e3779b97f4a7c15)
+}
+
+// sliceHash routes an already-hashed line, so callers that share the hash
+// with the set-index computation multiply only once.
+func (r sliceRoute) sliceHash(hash uint64) int {
+	if r.mask != 0 {
+		return r.base + int(hash&r.mask)
+	}
+	return r.base + int(hash%r.count)
+}
+
+// sliceFor routes an address with the given home to its LLC slice.
+func (h *Hierarchy) sliceFor(addr uint64, home Home) int {
+	return h.routeFor(home).slice(addr / LineBytes)
 }
 
 // EffectiveLLCBytes returns the LLC capacity visible to lines with the given
@@ -130,7 +211,9 @@ func (h *Hierarchy) EffectiveLLCBytes(home Home) int64 {
 // The flow models a non-inclusive hierarchy with the LLC as an L2 victim
 // cache: fills from memory go to L1+L2; L2 victims are written to the routed
 // LLC slice; LLC hits promote the line back into the core's L1/L2 and remove
-// it from the LLC.
+// it from the LLC. The LLC step is a single combined probe-and-remove — a
+// victim hit touches its set exactly once instead of the historical
+// Lookup/Invalidate/Insert triple scan.
 func (h *Hierarchy) Access(core int, addr uint64, home Home, write bool) Level {
 	if core < 0 || core >= h.cfg.Cores {
 		panic(fmt.Sprintf("cache: core %d out of range", core))
@@ -143,9 +226,8 @@ func (h *Hierarchy) Access(core int, addr uint64, home Home, write bool) Level {
 		return L2
 	}
 	slice := h.slices[h.sliceFor(addr, home)]
-	if slice.Lookup(addr, write) {
+	if found, dirty := slice.ProbeRemove(addr); found {
 		// Victim-cache hit: promote to the core's private levels.
-		_, dirty := slice.Invalidate(addr)
 		h.LLCHits++
 		h.fillPrivate(core, addr, home, write || dirty)
 		return LLC
@@ -153,6 +235,141 @@ func (h *Hierarchy) Access(core int, addr uint64, home Home, write bool) Level {
 	h.LLCMisses++
 	h.fillPrivate(core, addr, home, write)
 	return Memory
+}
+
+// homeBitsMask selects a word's home (kind + node) bits.
+const homeBitsMask = remoteFlag | uint64(MaxHomeNode)<<nodeShift
+
+// ReadStream performs one read access per address in addrs, all issued by
+// core against pages homed the same way, and accumulates into counts the
+// level that satisfied each access. It is behaviorally identical to calling
+// Access(core, addr, home, false) per address (TestReadStreamMatchesAccess
+// pins this), but the whole L1→L2→LLC probe/fill/spill chain is fused into
+// one loop body working directly on the packed slabs:
+//
+//   - the line hash is computed once and shared by the set indices, the
+//     slice route and the fingerprint nibble (they consume different bit
+//     ranges of one product);
+//   - every probe is a SWAR fingerprint match — no way scans;
+//   - each probed set is touched exactly once per access, and a full miss
+//     never reads the tag words at all;
+//   - hit/miss counters accumulate in locals and flush once per call.
+func (h *Hierarchy) ReadStream(core int, addrs []uint64, home Home, counts *LevelCounts) {
+	if core < 0 || core >= h.cfg.Cores {
+		panic(fmt.Sprintf("cache: core %d out of range", core))
+	}
+	l1, l2 := h.l1[core], h.l2[core]
+	h.materializeAll()
+	rt := h.routeFor(home)
+	slices := h.slices
+	homeBits := packWord(0, home, false)
+	l1w, l1fp, l1ways, l1shift := l1.words, l1.fps, l1.ways, l1.shift
+	l2w, l2fp, l2ways, l2shift := l2.words, l2.fps, l2.ways, l2.shift
+	var l1Hit, l1Miss, l1Evict, l2Hit, l2Miss, l2Evict uint64
+	var nL1, nL2, nLLC, nMem uint64
+	for _, addr := range addrs {
+		line := addr / LineBytes
+		ptag := line + 1
+		hash := line * fibMul
+		nib := nibbleOf(hash)
+
+		// L1 probe (hash>>64 is 0 in Go, so a single-set cache needs no
+		// special case).
+		s1 := int(hash >> l1shift)
+		b1 := s1 * l1ways
+		set1 := l1w[b1 : b1+l1ways]
+		if i := findIn(set1, l1fp[s1], nib, ptag); i >= 0 {
+			l1.promoteAt(set1, s1, i, nib)
+			l1Hit++
+			nL1++
+			continue
+		}
+		l1Miss++
+
+		// L2 probe.
+		s2 := int(hash >> l2shift)
+		b2 := s2 * l2ways
+		set2 := l2w[b2 : b2+l2ways]
+		if i := findIn(set2, l2fp[s2], nib, ptag); i >= 0 {
+			l2.promoteAt(set2, s2, i, nib)
+			l2Hit++
+			// Fill L1; its victims drop silently (L2 is inclusive of L1).
+			if l1.pushSlot(set1, s1, ptag|homeBits, nib) != 0 {
+				l1Evict++
+			}
+			nL2++
+			continue
+		}
+		l2Miss++
+
+		// LLC probe: the combined probe-promote-evict step. A victim-cache
+		// hit removes the line (it is promoted into L1/L2 below, carrying
+		// its dirty bit); a miss fills from memory and never reads the
+		// slice's tag words.
+		sc := slices[rt.sliceHash(hash)]
+		s3 := int(hash >> sc.shift)
+		b3 := s3 * sc.ways
+		set3 := sc.words[b3 : b3+sc.ways]
+		var dirtyBit uint64
+		if i := findIn(set3, sc.fps[s3], nib, ptag); i >= 0 {
+			dirtyBit = set3[i] & dirtyFlag
+			sc.removeSlot(set3, s3, i)
+			sc.Hits++
+			h.LLCHits++
+			nLLC++
+		} else {
+			sc.Misses++
+			h.LLCMisses++
+			nMem++
+		}
+
+		// Fill the private levels; spill the L2 victim to its routed slice.
+		fill := ptag | homeBits | dirtyBit
+		if l1.pushSlot(set1, s1, fill, nib) != 0 {
+			l1Evict++
+		}
+		victim := l2.pushSlot(set2, s2, fill, nib)
+		if victim == 0 {
+			continue
+		}
+		l2Evict++
+		vline := victim&ptagMask - 1
+		vhash := vline * fibMul
+		vnib := nibbleOf(vhash)
+		var vc *Cache
+		if victim&homeBitsMask == homeBits {
+			// The common mlc case: the victim shares the stream's home, so
+			// its routing is already resolved.
+			vc = slices[rt.sliceHash(vhash)]
+		} else {
+			vc = slices[h.sliceFor(vline*LineBytes, unpackHome(victim))]
+		}
+		vs := int(vhash >> vc.shift)
+		vb := vs * vc.ways
+		vset := vc.words[vb : vb+vc.ways]
+		// Spill with full Insert semantics: another core\'s copy of the line
+		// may already sit in the slice, in which case it is refreshed with
+		// the dirty bits merged and the resident home preserved.
+		if vp := findIn(vset, vc.fps[vs], vnib, vline+1); vp >= 0 {
+			w := vc.promoteAt(vset, vs, vp, vnib)
+			vset[int(vc.fronts[vs])] = w | victim&dirtyFlag
+			continue
+		}
+		if vc.pushSlot(vset, vs, victim, vnib) != 0 {
+			vc.Evictions++
+		}
+	}
+
+	l1.Hits += l1Hit
+	l1.Misses += l1Miss
+	l1.Evictions += l1Evict
+	l2.Hits += l2Hit
+	l2.Misses += l2Miss
+	l2.Evictions += l2Evict
+	counts[L1] += nL1
+	counts[L2] += nL2
+	counts[LLC] += nLLC
+	counts[Memory] += nMem
 }
 
 // fillPrivate installs a line into the core's L1 and L2, spilling the L2

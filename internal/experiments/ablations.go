@@ -27,7 +27,7 @@ func runAblationLLC(o Options) *Table {
 		cfg := topo.DefaultConfig()
 		cfg.CXLBreaksSNCIsolation = i == 0
 		sys := topo.NewSystem(cfg)
-		return mlc.BufferLatency(sys, sys.Path("CXL-A"), 32<<20, samples, o.Seed+3).Nanoseconds()
+		return mlc.BufferLatencyWarm(sys, sys.Path("CXL-A"), 32<<20, samples, o.Seed+3, o.warmup()).Nanoseconds()
 	})
 	withBreak, without := lats[0], lats[1]
 

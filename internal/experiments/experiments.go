@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"cxlmem/internal/mlc"
 )
 
 // Options tune an experiment run.
@@ -24,6 +26,20 @@ type Options struct {
 	// every available CPU. Any value produces byte-identical tables — the
 	// sweep engine orders results by operating-point index.
 	Parallel int
+	// FastWarmup switches the cache-simulating measurements (fig5,
+	// ablation-llc) from the exact fixed six-pass warmup to the
+	// convergence-based one (mlc.WarmupConverged). Faster, but the rendered
+	// values can shift in the last digit, so the default stays exact —
+	// the golden-table corpus pins the exact-mode rendering.
+	FastWarmup bool
+}
+
+// warmup resolves the options' warmup policy for mlc buffer measurements.
+func (o Options) warmup() mlc.Warmup {
+	if o.FastWarmup {
+		return mlc.WarmupConverged
+	}
+	return mlc.WarmupExact
 }
 
 // DefaultOptions returns the full-fidelity settings.

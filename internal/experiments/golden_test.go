@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden corpus pins the rendered output of every registered experiment
+// in quick mode. It exists so engine rewrites (like the packed-tag cache
+// engine) can prove byte-identical tables: regenerate the corpus with
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+//
+// only when a model change is *intended* to move the numbers, and say so in
+// the commit.
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment tables")
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".txt")
+}
+
+// TestGoldenTables renders each experiment with the default (exact-warmup)
+// options and compares it byte-for-byte against the committed golden file.
+func TestGoldenTables(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			o := DefaultOptions()
+			o.Quick = true
+			o.Parallel = 1
+			got := e.Run(o).Render()
+
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(goldenPath(e.ID)), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath(e.ID), []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath(e.ID))
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("rendered table diverges from golden %s:\n--- golden ---\n%s\n--- got ---\n%s",
+					goldenPath(e.ID), want, got)
+			}
+		})
+	}
+}

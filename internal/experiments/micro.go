@@ -123,7 +123,7 @@ func runFig5(o Options) *Table {
 	devices := []string{"DDR5-L", "CXL-A"}
 	lats := sweepPoints(o, len(devices), func(i int) float64 {
 		sys := topo.NewSystem(topo.DefaultConfig()) // SNC on
-		return mlc.BufferLatency(sys, sys.Path(devices[i]), buf, samples, o.Seed+3).Nanoseconds()
+		return mlc.BufferLatencyWarm(sys, sys.Path(devices[i]), buf, samples, o.Seed+3, o.warmup()).Nanoseconds()
 	})
 	ddr, cxl := lats[0], lats[1]
 

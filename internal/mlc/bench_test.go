@@ -1,0 +1,44 @@
+package mlc
+
+// End-to-end benchmarks of the streamed measurement loops — the code paths
+// that dominate fig5 and ablation-llc. Together with internal/cache's
+// per-operation benchmarks these give the engine a tracked baseline.
+
+import (
+	"testing"
+
+	"cxlmem/internal/topo"
+)
+
+// benchBuffer regenerates one 32 MB buffer-latency measurement (the fig5
+// inner loop) at the quick-mode sample count.
+func benchBuffer(b *testing.B, device string, warm Warmup) {
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sys := topo.NewSystem(topo.DefaultConfig())
+		sink += BufferLatencyWarm(sys, sys.Path(device), 32<<20, 20000, 3, warm).Nanoseconds()
+	}
+	if sink == 0 {
+		b.Fatal("zero latency")
+	}
+}
+
+func BenchmarkBufferLatencyDDRExact(b *testing.B)     { benchBuffer(b, "DDR5-L", WarmupExact) }
+func BenchmarkBufferLatencyDDRConverged(b *testing.B) { benchBuffer(b, "DDR5-L", WarmupConverged) }
+func BenchmarkBufferLatencyCXLExact(b *testing.B)     { benchBuffer(b, "CXL-A", WarmupExact) }
+func BenchmarkBufferLatencyCXLConverged(b *testing.B) { benchBuffer(b, "CXL-A", WarmupConverged) }
+
+// BenchmarkIdleLatency measures the pointer-chase loop, permutation build
+// included (it is part of every real call).
+func BenchmarkIdleLatency(b *testing.B) {
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sys := topo.NewSystem(topo.MicrobenchConfig())
+		sink += IdleLatency(sys, sys.Path("CXL-A"), 20000, 1).Nanoseconds()
+	}
+	if sink == 0 {
+		b.Fatal("zero latency")
+	}
+}

@@ -9,19 +9,45 @@
 //     theoretical peak (the paper's "bandwidth efficiency" metric, Fig. 4a);
 //   - buffer latency: average latency of random accesses within a buffer of
 //     a chosen size, which exposes the SNC/LLC interaction of §4.3 (Fig. 5).
+//
+// The measurement loops are streamed: addresses are generated in batches and
+// driven through cache.Hierarchy.ReadStream, which accumulates a per-level
+// hit histogram; the average latency is computed once per level at the end.
+// Because every access at a level contributes the same integer
+// path.HitLatency, the histogram arithmetic is exactly the historical
+// per-access sum.
 package mlc
 
 import (
+	"math"
+
 	"cxlmem/internal/cache"
 	"cxlmem/internal/mem"
 	"cxlmem/internal/sim"
 	"cxlmem/internal/topo"
 )
 
+// batchLines is the streamed loops' address-batch size: large enough to
+// amortize the per-batch call, small enough to stay in L1 of the host.
+const batchLines = 4096
+
+// streamTotal converts a per-level hit histogram into the total simulated
+// latency — identical arithmetic to summing path.HitLatency per access,
+// performed once per level.
+func streamTotal(path *topo.Path, counts *cache.LevelCounts) sim.Time {
+	var total sim.Time
+	for lvl := cache.L1; lvl <= cache.Memory; lvl++ {
+		total += sim.Time(counts[lvl]) * path.HitLatency(lvl)
+	}
+	return total
+}
+
 // IdleLatency measures the serialized (pointer-chase) load latency to the
-// device behind path. The chase walks a shuffled permutation over a buffer
-// twice the LLC so that, in steady state, essentially every access misses
-// the hierarchy and pays the full serial path latency.
+// device behind path. The chase follows a shuffled single-cycle permutation
+// (Sattolo's algorithm, deterministic from seed) over a buffer twice the
+// LLC: each load's address is the pointer the previous load returned —
+// MLC's shuffled-pointer buffer — so in steady state essentially every
+// access misses the hierarchy and pays the full serial path latency.
 func IdleLatency(sys *topo.System, path *topo.Path, steps int, seed uint64) sim.Time {
 	if steps <= 0 {
 		panic("mlc: non-positive step count")
@@ -29,26 +55,72 @@ func IdleLatency(sys *topo.System, path *topo.Path, steps int, seed uint64) sim.
 	hier := sys.Hier
 	home := sys.HomeFor(path, 0)
 	bufBytes := int64(2) * int64(hier.Config().Cores) * hier.Config().LLCSliceBytes
-	lines := bufBytes / cache.LineBytes
+	lines := int(bufBytes / cache.LineBytes)
 
+	// Build the chase: next[i] is the line the load of line i points at.
+	// Sattolo's shuffle yields a single cycle covering the whole buffer, so
+	// the chase cannot trap itself in a short cache-resident loop.
 	rng := sim.NewRng(seed)
-	var total sim.Time
-	// Random chase: the next address is a pseudo-random function of the
-	// step, matching MLC's shuffled-pointer buffer initialization.
-	addr := uint64(rng.Int63n(lines)) * cache.LineBytes
-	for i := 0; i < steps; i++ {
-		level := hier.Access(0, addr, home, false)
-		total += path.HitLatency(level)
-		addr = uint64(rng.Int63n(lines)) * cache.LineBytes
+	next := make([]uint32, lines)
+	for i := range next {
+		next[i] = uint32(i)
 	}
-	return total / sim.Time(steps)
+	for i := lines - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+
+	var counts cache.LevelCounts
+	batch := make([]uint64, batchLines)
+	idx := uint32(0)
+	for remaining := steps; remaining > 0; {
+		n := min(remaining, batchLines)
+		b := batch[:n]
+		for i := range b {
+			b[i] = uint64(idx) * cache.LineBytes
+			idx = next[idx]
+		}
+		hier.ReadStream(0, b, home, &counts)
+		remaining -= n
+	}
+	return streamTotal(path, &counts) / sim.Time(steps)
 }
+
+// Warmup selects how BufferLatency brings the hierarchy to steady state
+// before sampling.
+type Warmup int
+
+const (
+	// WarmupExact replays the historical fixed warmup — six buffer passes'
+	// worth of random touches — so results are byte-identical to the
+	// pre-engine-rebuild goldens.
+	WarmupExact Warmup = iota
+	// WarmupConverged warms epoch by epoch (one buffer pass each) and stops
+	// as soon as the LLC hit rate changes by less than WarmTolerance
+	// between consecutive epochs, capped at WarmMaxPasses. Same steady
+	// state, fewer simulated accesses when the working set settles early.
+	WarmupConverged
+)
+
+const (
+	// WarmTolerance is the epoch-over-epoch LLC hit-rate delta under which
+	// WarmupConverged declares steady state.
+	WarmTolerance = 0.01
+	// WarmMaxPasses bounds WarmupConverged on working sets that never
+	// settle (matching WarmupExact's fixed six passes).
+	WarmMaxPasses = 6
+)
 
 // BufferLatency measures the average latency of random accesses within a
 // buffer of bufBytes homed on path's device — the §4.3 experiment: a 32 MB
 // buffer fits the socket-wide LLC when homed on CXL memory but overflows a
-// single SNC node's slices when homed on local DDR.
+// single SNC node's slices when homed on local DDR. It uses WarmupExact.
 func BufferLatency(sys *topo.System, path *topo.Path, bufBytes int64, samples int, seed uint64) sim.Time {
+	return BufferLatencyWarm(sys, path, bufBytes, samples, seed, WarmupExact)
+}
+
+// BufferLatencyWarm is BufferLatency with an explicit warmup policy.
+func BufferLatencyWarm(sys *topo.System, path *topo.Path, bufBytes int64, samples int, seed uint64, warm Warmup) sim.Time {
 	if samples <= 0 || bufBytes < cache.LineBytes {
 		panic("mlc: invalid buffer latency parameters")
 	}
@@ -57,17 +129,48 @@ func BufferLatency(sys *topo.System, path *topo.Path, bufBytes int64, samples in
 	lines := bufBytes / cache.LineBytes
 	rng := sim.NewRng(seed)
 
-	// Warm the hierarchy: several passes' worth of random touches.
-	warm := int(lines) * 6
-	for i := 0; i < warm; i++ {
-		hier.Access(0, uint64(rng.Int63n(lines))*cache.LineBytes, home, false)
+	batch := make([]uint64, batchLines)
+	// fill draws the next n random line addresses from the measurement's
+	// single RNG stream (same stream and order as the historical scalar
+	// loop consumed).
+	fill := func(n int) []uint64 {
+		b := batch[:n]
+		for i := range b {
+			b[i] = uint64(rng.Int63n(lines)) * cache.LineBytes
+		}
+		return b
 	}
-	var total sim.Time
-	for i := 0; i < samples; i++ {
-		level := hier.Access(0, uint64(rng.Int63n(lines))*cache.LineBytes, home, false)
-		total += path.HitLatency(level)
+	// pass streams one buffer's worth (or an arbitrary count) of random
+	// touches, returning the pass's own level histogram.
+	pass := func(accesses int) cache.LevelCounts {
+		var c cache.LevelCounts
+		for remaining := accesses; remaining > 0; {
+			n := min(remaining, batchLines)
+			hier.ReadStream(0, fill(n), home, &c)
+			remaining -= n
+		}
+		return c
 	}
-	return total / sim.Time(samples)
+
+	switch warm {
+	case WarmupExact:
+		pass(int(lines) * WarmMaxPasses)
+	case WarmupConverged:
+		prev := math.Inf(-1)
+		for i := 0; i < WarmMaxPasses; i++ {
+			c := pass(int(lines))
+			hitRate := float64(c[cache.LLC]) / float64(lines)
+			if math.Abs(hitRate-prev) < WarmTolerance {
+				break
+			}
+			prev = hitRate
+		}
+	default:
+		panic("mlc: unknown warmup mode")
+	}
+
+	counts := pass(samples)
+	return streamTotal(path, &counts) / sim.Time(samples)
 }
 
 // BandwidthResult reports one loaded-bandwidth measurement.

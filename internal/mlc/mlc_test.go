@@ -63,6 +63,48 @@ func TestFig5BufferLatency(t *testing.T) {
 	}
 }
 
+// TestIdleLatencyIsDependentChase pins the pointer-chase semantics: with a
+// chase buffer twice the LLC and fewer steps than buffer lines, every access
+// is a compulsory miss, so the idle latency equals the serial path latency
+// exactly — an independent-random loop would hit warm lines and fall below.
+func TestIdleLatencyIsDependentChase(t *testing.T) {
+	sys := topo.NewSystem(topo.MicrobenchConfig())
+	p := sys.Path("CXL-A")
+	got := IdleLatency(sys, p, 20000, 1)
+	if want := p.SerialLatency(mem.Load); got != want {
+		t.Errorf("chase idle latency %v, want exactly serial %v", got, want)
+	}
+}
+
+// TestBufferLatencyConvergedTracksExact verifies the epoch-wise warmup lands
+// on the same steady state as the fixed six-pass warmup (within noise) and
+// never simulates more warm accesses. A DDR-homed buffer overflows its node
+// slices and plateaus after two passes, so there it must stop early; a
+// CXL-homed buffer genuinely needs the full fill of the 60 MB socket LLC and
+// may legitimately run to the cap.
+func TestBufferLatencyConvergedTracksExact(t *testing.T) {
+	const buf = 32 << 20
+	for _, name := range []string{"DDR5-L", "CXL-A"} {
+		sysE := topo.NewSystem(topo.DefaultConfig())
+		exact := BufferLatencyWarm(sysE, sysE.Path(name), buf, 50000, 3, WarmupExact)
+		sysC := topo.NewSystem(topo.DefaultConfig())
+		conv := BufferLatencyWarm(sysC, sysC.Path(name), buf, 50000, 3, WarmupConverged)
+		accE := sysE.Hier.LLCHits + sysE.Hier.LLCMisses
+		accC := sysC.Hier.LLCHits + sysC.Hier.LLCMisses
+
+		rel := (conv.Nanoseconds() - exact.Nanoseconds()) / exact.Nanoseconds()
+		if rel < -0.05 || rel > 0.05 {
+			t.Errorf("%s: converged %v vs exact %v (%.1f%% off)", name, conv, exact, rel*100)
+		}
+		if accC > accE {
+			t.Errorf("%s: converged warmup simulated %d LLC-level accesses, exact %d", name, accC, accE)
+		}
+		if name == "DDR5-L" && accC >= accE*3/4 {
+			t.Errorf("DDR5-L: converged warmup should stop well early (%d vs %d accesses)", accC, accE)
+		}
+	}
+}
+
 func TestLoadedBandwidthEfficiencyMatchesTable(t *testing.T) {
 	sys := topo.NewSystem(topo.MicrobenchConfig())
 	for _, p := range sys.ComparisonPaths() {

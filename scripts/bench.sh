@@ -3,21 +3,67 @@
 #
 # Runs every repository-level experiment benchmark once (quick mode, the same
 # code paths as full runs) and writes BENCH_<N>.json at the repo root mapping
-# experiment ID -> ns per regeneration:
+# experiment ID -> ns per regeneration (each entry is that experiment's wall
+# time at -benchtime=1x), plus a "_total_ns" sum and "_wall_ns" for the whole
+# bench run:
 #
-#   scripts/bench.sh        # writes BENCH_1.json
-#   scripts/bench.sh 7      # writes BENCH_7.json (e.g. numbered by PR)
+#   scripts/bench.sh          # writes BENCH_1.json
+#   scripts/bench.sh 7        # writes BENCH_7.json (e.g. numbered by PR)
+#   scripts/bench.sh compare  # diff the two newest BENCH_*.json, flag >25%
+#                             # regressions (exit 1 if any)
 #
 # Future PRs compare their BENCH_<N>.json against the committed history to
 # spot regressions on the hot paths.
 set -eu
 
-n="${1:-1}"
 cd "$(dirname "$0")/.."
+
+# compare mode: pit the two newest BENCH_*.json against each other.
+if [ "${1:-}" = "compare" ]; then
+	files=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2)
+	count=$(printf '%s\n' $files | wc -l)
+	if [ "$count" -lt 2 ]; then
+		echo "bench.sh compare: need at least two BENCH_*.json files" >&2
+		exit 2
+	fi
+	old=$(printf '%s\n' $files | head -1)
+	new=$(printf '%s\n' $files | tail -1)
+	echo "comparing $old -> $new (flagging >25% regressions)"
+	awk -v oldf="$old" -v newf="$new" '
+	function parse(file, arr,    line, key, val) {
+		while ((getline line < file) > 0) {
+			if (line !~ /":/) continue
+			key = line; sub(/^[ \t]*"/, "", key); sub(/".*$/, "", key)
+			val = line; sub(/^[^:]*:[ \t]*/, "", val); sub(/[,} \t]*$/, "", val)
+			if (key ~ /^_/) continue  # summary keys, not experiments
+			arr[key] = val + 0
+		}
+		close(file)
+	}
+	BEGIN {
+		parse(oldf, a); parse(newf, b)
+		bad = 0
+		for (k in b) {
+			if (!(k in a) || a[k] <= 0) continue
+			r = b[k] / a[k]
+			mark = (r > 1.25) ? "  << REGRESSION" : ""
+			if (r > 1.25 || r < 0.8)
+				printf "%-22s %14.0f -> %14.0f ns  (%.2fx)%s\n", k, a[k], b[k], r, mark
+			if (r > 1.25) bad++
+		}
+		for (k in a) if (!(k in b)) printf "%-22s dropped from %s\n", k, newf
+		if (bad) { printf "%d experiment(s) regressed >25%%\n", bad; exit 1 }
+		print "no experiment regressed >25%"
+	}'
+	exit $?
+fi
+
+n="${1:-1}"
 out="BENCH_${n}.json"
 
+start_ns=$(date +%s%N)
 go test -run '^$' -bench '^Benchmark(Table|Fig|Ablation)' -benchtime=1x . |
-	awk '
+	awk -v start="$start_ns" '
 	/^Benchmark/ {
 		name = $1
 		sub(/^Benchmark/, "", name)
@@ -31,14 +77,18 @@ go test -run '^$' -bench '^Benchmark(Table|Fig|Ablation)' -benchtime=1x . |
 		# $3 is already an integer literal; keep it textual so 32-bit awk
 		# %d limits cannot truncate slow entries.
 		ns[++count] = "  \"" id "\": " $3
+		total += $3
 	}
 	END {
 		if (count == 0) {
 			print "bench.sh: no benchmark output" > "/dev/stderr"
 			exit 1
 		}
+		"date +%s%N" | getline end
 		print "{"
-		for (i = 1; i <= count; i++) print ns[i] (i < count ? "," : "")
+		for (i = 1; i <= count; i++) print ns[i] ","
+		printf "  \"_total_ns\": %.0f,\n", total
+		printf "  \"_wall_ns\": %.0f\n", end - start
 		print "}"
 	}' >"$out"
 
