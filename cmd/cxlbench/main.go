@@ -11,6 +11,14 @@
 //	cxlbench -run fig5 -fastwarm      # convergence-based cache warmup
 //	cxlbench -run fig13 -cpuprofile p # write a pprof CPU profile
 //
+// Beyond the paper's fixed figures, -scenario evaluates arbitrary cells of
+// the workload x policy x size matrix from one-line specs (see
+// internal/workloads and the README cheat sheet):
+//
+//	cxlbench -scenario 'ycsb:readmostly/policy=weighted:85,15/size=4G'
+//	cxlbench -scenario all            # the full matrix cross product
+//	cxlbench -scenario list           # registered workloads + their knobs
+//
 // A single experiment fans its independent operating points across
 // -parallel workers (default: all CPUs). -run all spends the same budget one
 // level up: whole experiments run concurrently on -parallel workers, each
@@ -25,6 +33,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 
 	"cxlmem"
@@ -33,6 +42,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
+	scenario := flag.String("scenario", "", "scenario spec to evaluate, 'all' for the full matrix, or 'list'")
 	quick := flag.Bool("quick", false, "reduced sample counts")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all CPUs)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
@@ -65,6 +75,26 @@ func main() {
 		}
 	case *run != "":
 		out, err := cxlmem.RunExperimentCfg(*run, cfg)
+		if err != nil {
+			pprof.StopCPUProfile()
+			fail(err)
+		}
+		fmt.Print(out)
+	case *scenario == "list":
+		for _, s := range cxlmem.ScenarioWorkloads() {
+			fmt.Printf("%-8s %s\n         variants: %s\n", s.Name, s.Desc, strings.Join(s.Variants, ", "))
+		}
+		fmt.Println("\ncatalog (EXPERIMENTS.md form):")
+		fmt.Print(cxlmem.ScenarioCatalog())
+	case *scenario == "all":
+		out, err := cxlmem.RunScenarioMatrix(cfg)
+		if err != nil {
+			pprof.StopCPUProfile()
+			fail(err)
+		}
+		fmt.Print(out)
+	case *scenario != "":
+		out, err := cxlmem.RunScenario(*scenario, cfg)
 		if err != nil {
 			pprof.StopCPUProfile()
 			fail(err)

@@ -4,7 +4,8 @@
 //
 // This root package is the public facade used by the examples and the
 // command-line tools: it builds simulated systems, runs the paper's
-// experiments by ID, and wires Caption controllers to workloads. The
+// experiments by ID, evaluates one-line scenario specs against the unified
+// workload registry, and wires Caption controllers to workloads. The
 // building blocks live under internal/ (see DESIGN.md for the map).
 //
 // Quick start:
@@ -12,6 +13,7 @@
 //	sys := cxlmem.NewSystem()                   // paper §5 setup: SNC on, 2 DDR ch + CXL
 //	out, err := cxlmem.RunExperiment("fig3")    // regenerate a figure
 //	fmt.Print(out)
+//	out, err = cxlmem.RunScenario("ycsb:readmostly/policy=weighted:85,15", cxlmem.RunConfig{})
 package cxlmem
 
 import (
@@ -22,6 +24,7 @@ import (
 	"cxlmem/internal/numa"
 	"cxlmem/internal/telemetry"
 	"cxlmem/internal/topo"
+	"cxlmem/internal/workloads"
 )
 
 // System is the simulated dual-socket SPR server with its memory devices.
@@ -84,12 +87,8 @@ func RunExperimentQuick(id string) (string, error) {
 	return RunExperimentCfg(id, RunConfig{Quick: true})
 }
 
-// RunExperimentCfg regenerates one experiment under the given configuration.
-func RunExperimentCfg(id string, cfg RunConfig) (string, error) {
-	e, err := experiments.Get(id)
-	if err != nil {
-		return "", err
-	}
+// options converts a RunConfig into the experiment layer's option set.
+func (cfg RunConfig) options() experiments.Options {
 	opts := experiments.DefaultOptions()
 	opts.Quick = cfg.Quick
 	opts.Parallel = cfg.Parallel
@@ -97,7 +96,67 @@ func RunExperimentCfg(id string, cfg RunConfig) (string, error) {
 	if cfg.Seed != 0 {
 		opts.Seed = cfg.Seed
 	}
-	return e.Run(opts).Render(), nil
+	return opts
+}
+
+// RunExperimentCfg regenerates one experiment under the given configuration.
+func RunExperimentCfg(id string, cfg RunConfig) (string, error) {
+	e, err := experiments.Get(id)
+	if err != nil {
+		return "", err
+	}
+	return e.Run(cfg.options()).Render(), nil
+}
+
+// ScenarioInfo describes one registered workload of the scenario engine.
+type ScenarioInfo struct {
+	// Name is the spec head accepted by RunScenario ("ycsb", "dlrm", ...).
+	Name string
+	// Desc is a one-line description.
+	Desc string
+	// Variants lists the accepted variant names.
+	Variants []string
+}
+
+// ScenarioWorkloads lists every workload the scenario engine can run.
+func ScenarioWorkloads() []ScenarioInfo {
+	var out []ScenarioInfo
+	for _, w := range workloads.All() {
+		out = append(out, ScenarioInfo{Name: w.Name(), Desc: w.Desc(), Variants: w.Variants()})
+	}
+	return out
+}
+
+// ScenarioCatalog renders the registry as the markdown catalog embedded in
+// EXPERIMENTS.md.
+func ScenarioCatalog() string { return workloads.Catalog() }
+
+// RunScenario evaluates one scenario spec (see internal/workloads: e.g.
+// "ycsb:readmostly/policy=weighted:85,15/size=4G") and returns its rendered
+// one-row table. Results are memoized per process, so re-evaluating a cell
+// is free.
+func RunScenario(spec string, cfg RunConfig) (string, error) {
+	sc, err := workloads.ParseScenario(spec)
+	if err != nil {
+		return "", err
+	}
+	t, err := experiments.ScenarioTable(cfg.options(), "scenario", "scenario evaluation", []workloads.Scenario{sc})
+	if err != nil {
+		return "", err
+	}
+	return t.Render(), nil
+}
+
+// RunScenarioMatrix evaluates the full scenario cross product — the union
+// of the matrix-apps, matrix-policy and matrix-size cells — through the
+// parallel sweep engine and returns one combined table.
+func RunScenarioMatrix(cfg RunConfig) (string, error) {
+	t, err := experiments.ScenarioTable(cfg.options(), "matrix-all",
+		"full scenario matrix: workload x policy x size", experiments.AllMatrixScenarios())
+	if err != nil {
+		return "", err
+	}
+	return t.Render(), nil
 }
 
 // Policy is a two-node (DDR, CXL) weighted-interleave allocation policy —

@@ -22,13 +22,35 @@ func TestNewSystems(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	infos := Experiments()
-	if len(infos) != 24 {
-		t.Errorf("expected 24 experiments, got %d", len(infos))
+	if len(infos) != 27 {
+		t.Errorf("expected 27 experiments, got %d", len(infos))
 	}
 	for _, info := range infos {
 		if info.ID == "" || info.Desc == "" {
 			t.Errorf("incomplete info: %+v", info)
 		}
+	}
+}
+
+func TestScenarioFacade(t *testing.T) {
+	if got := len(ScenarioWorkloads()); got != 7 {
+		t.Errorf("expected 7 scenario workloads, got %d", got)
+	}
+	out, err := RunScenario("fluid/policy=interleave/size=64M", RunConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "system_bw") {
+		t.Errorf("scenario rendering missing primary metric:\n%s", out)
+	}
+	if _, err := RunScenario("nope", RunConfig{}); err == nil {
+		t.Error("unknown scenario workload should error")
+	}
+	if _, err := RunScenario("ycsb/flavor=mild", RunConfig{}); err == nil {
+		t.Error("bad spec key should error")
+	}
+	if !strings.Contains(ScenarioCatalog(), "| `ycsb` |") {
+		t.Error("catalog missing ycsb row")
 	}
 }
 

@@ -37,4 +37,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(out)
+
+	// Beyond the fixed figures, any cell of the workload x policy x size
+	// matrix is one spec string away (see examples/scenario_matrix).
+	fmt.Println("\nOne scenario cell (ycsb:readmostly at a 85:15 DDR:CXL split):")
+	out, err = cxlmem.RunScenario("ycsb:readmostly/policy=weighted:85,15", cxlmem.RunConfig{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
 }

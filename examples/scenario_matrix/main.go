@@ -1,0 +1,55 @@
+// Scenario matrix: the unified workload engine. Every application model of
+// the paper registers behind one interface, so arbitrary cells of the
+// {workload x interleaving policy x working-set size} cross product are a
+// one-line spec string away — no experiment code required.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cxlmem"
+)
+
+func main() {
+	fmt.Println("Registered workloads:")
+	for _, w := range cxlmem.ScenarioWorkloads() {
+		fmt.Printf("  %-8s %s\n           variants: %s\n", w.Name, w.Desc, strings.Join(w.Variants, ", "))
+	}
+
+	cfg := cxlmem.RunConfig{Quick: true}
+
+	// Single cells: spec strings compose workload:variant with knob
+	// overrides (policy, size, qps, threads, ops, seed, device).
+	fmt.Println("\nHand-picked cells:")
+	for _, spec := range []string{
+		"ycsb:readmostly/policy=weighted:85,15/size=4G",
+		"dlrm/policy=cxl:63/threads=32",
+		"kvstore/policy=cxl/qps=65000",
+		"fio:256k/policy=cxl",
+		"spec:mix/policy=interleave",
+	} {
+		out, err := cxlmem.RunScenario(spec, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	}
+
+	// The same spec again is free: matrix cells are memoized per process.
+	if _, err := cxlmem.RunScenario("dlrm/policy=cxl:63/threads=32", cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(re-running a cell hits the memo cache — no recomputation)")
+
+	// The full cross product dispatches through the parallel sweep engine;
+	// see also: cxlbench -scenario all, and the matrix-apps /
+	// matrix-policy / matrix-size experiment IDs.
+	out, err := cxlmem.RunScenarioMatrix(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(out)
+}

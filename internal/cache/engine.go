@@ -16,6 +16,9 @@ import (
 //	bit  60     home kind (set = HomeRemote)
 //	bits 61–63  home node
 //
+//	 63      61  60    59     58                                        0
+//	[ node (3) ][kind][dirty][               tag+1 (59)                  ]
+//
 // The node field caps Home.Node at 7; the modeled SPR part has at most four
 // SNC nodes, and packWord panics loudly if a caller ever exceeds the packed
 // range rather than corrupting routing.

@@ -1,0 +1,224 @@
+// Scenario-matrix engine (DESIGN.md §8).
+//
+// The matrix experiments take the cross product of {workload × interleaving
+// policy × working-set size} from the internal/workloads registry and
+// dispatch every cell through the parallel sweep engine (sweep.go). Cells
+// are memoized process-wide in a memo.Cache keyed by the canonical scenario
+// spec plus an options fingerprint, so cells shared between matrices — and
+// the serial/parallel double runs of the equivalence tests — are computed
+// once.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cxlmem/internal/memo"
+	"cxlmem/internal/workloads"
+)
+
+func init() {
+	register("matrix-apps", "scenario matrix: every registered workload x DDR/interleave/CXL placement", runMatrixApps)
+	register("matrix-policy", "scenario matrix: throughput workloads x 5 interleaving policies", runMatrixPolicy)
+	register("matrix-size", "scenario matrix: size-aware workloads x working-set sizes", runMatrixSize)
+}
+
+// cellCache memoizes evaluated matrix cells for the lifetime of the
+// process. Cell values depend only on the canonical spec and the options
+// fingerprint — never on the worker count — so caching preserves the
+// byte-identical serial-vs-parallel contract.
+var cellCache = memo.NewCache()
+
+// cellKey is the memoization key of one (scenario, options) cell.
+func (o Options) cellKey(sc workloads.Scenario) string {
+	return fmt.Sprintf("%s|quick=%t|fastwarm=%t|seed=%d", sc.String(), o.Quick, o.FastWarmup, o.Seed)
+}
+
+// scenarioEnv builds the workload environment for the options. The default
+// experiment seed keeps each workload's calibrated seed; an explicit -seed
+// override perturbs every cell.
+func (o Options) scenarioEnv() *workloads.Env {
+	env := workloads.NewEnv()
+	env.Quick = o.Quick
+	env.FastWarmup = o.FastWarmup
+	if o.Seed != DefaultOptions().Seed {
+		env.Seed = o.Seed
+	}
+	return env
+}
+
+// RunScenario evaluates one scenario cell under the options, memoized in
+// the process-wide cell cache. Each fresh evaluation builds a private
+// system, so concurrent cells never share mutable state.
+func RunScenario(o Options, sc workloads.Scenario) (workloads.Metrics, error) {
+	return runScenarioCached(cellCache, o, sc)
+}
+
+// runScenarioCached is RunScenario against an explicit cache — the
+// serial-vs-parallel test passes fresh caches so memoization cannot mask a
+// concurrency bug in cell evaluation.
+func runScenarioCached(cache *memo.Cache, o Options, sc workloads.Scenario) (workloads.Metrics, error) {
+	v, err := cache.Do(o.cellKey(sc), func() (any, error) {
+		return sc.Run(o.scenarioEnv())
+	})
+	if err != nil {
+		return workloads.Metrics{}, err
+	}
+	return v.(workloads.Metrics), nil
+}
+
+// ParseScenarios parses a list of spec strings, failing on the first bad one.
+func ParseScenarios(specs []string) ([]workloads.Scenario, error) {
+	out := make([]workloads.Scenario, len(specs))
+	for i, s := range specs {
+		sc, err := workloads.ParseScenario(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sc
+	}
+	return out, nil
+}
+
+// ScenarioTable evaluates the scenarios across the options' worker pool and
+// renders them as one table, one row per cell in input order: the headline
+// metric plus the remaining metrics compacted into a detail column.
+func ScenarioTable(o Options, id, title string, scs []workloads.Scenario) (*Table, error) {
+	return scenarioTableCached(cellCache, o, id, title, scs)
+}
+
+// scenarioTableCached is ScenarioTable against an explicit cell cache.
+func scenarioTableCached(cache *memo.Cache, o Options, id, title string, scs []workloads.Scenario) (*Table, error) {
+	type cell struct {
+		m   workloads.Metrics
+		err error
+	}
+	cells := sweepPoints(o, len(scs), func(i int) cell {
+		m, err := runScenarioCached(cache, o, scs[i])
+		return cell{m, err}
+	})
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"Scenario", "Metric", "Value", "Unit", "Detail"},
+	}
+	for i, c := range cells {
+		if c.err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q: %w", scs[i], c.err)
+		}
+		p := c.m.Primary()
+		var detail []string
+		for _, it := range c.m.Items[1:] {
+			detail = append(detail, fmt.Sprintf("%s=%s%s", it.Name, f2(it.Value), it.Unit))
+		}
+		t.AddRow(scs[i].String(), p.Name, f2(p.Value), p.Unit, strings.Join(detail, " "))
+	}
+	return t, nil
+}
+
+// mustScenarios parses code-defined matrix specs; a bad literal is a
+// programming error.
+func mustScenarios(specs []string) []workloads.Scenario {
+	scs, err := ParseScenarios(specs)
+	if err != nil {
+		panic(err)
+	}
+	return scs
+}
+
+// mustScenarioTable is ScenarioTable for registered matrix experiments,
+// whose code-defined cells cannot legitimately fail.
+func mustScenarioTable(o Options, id, title string, specs []string) *Table {
+	t, err := ScenarioTable(o, id, title, mustScenarios(specs))
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// matrixPlacements are the coarse placement policies of matrix-apps.
+var matrixPlacements = []string{"ddr", "interleave", "cxl"}
+
+// matrixAppsSpecs crosses every registered workload with the coarse
+// placements at default size.
+func matrixAppsSpecs() []string {
+	var specs []string
+	for _, w := range workloads.All() {
+		for _, p := range matrixPlacements {
+			specs = append(specs, fmt.Sprintf("%s/policy=%s", w.Name(), p))
+		}
+	}
+	return specs
+}
+
+func runMatrixApps(o Options) *Table {
+	t := mustScenarioTable(o, "matrix-apps",
+		"every registered workload under DDR-only, 50:50 interleave, and CXL-only placement",
+		matrixAppsSpecs())
+	t.AddNote("latency workloads (kvstore, dsb, fio) degrade toward cxl; bandwidth-bound dlrm/fluid peak at an interior split (F1/F4)")
+	return t
+}
+
+// matrixPolicySpecs sweeps the paper's weighted-interleave knob across the
+// throughput-oriented workloads (the Fig. 9/13 axis).
+func matrixPolicySpecs() []string {
+	policies := []string{"ddr", "weighted:85,15", "interleave", "weighted:25,75", "cxl"}
+	heads := []string{"ycsb:a", "dlrm", "spec:mix"}
+	var specs []string
+	for _, h := range heads {
+		for _, p := range policies {
+			specs = append(specs, fmt.Sprintf("%s/policy=%s", h, p))
+		}
+	}
+	return specs
+}
+
+func runMatrixPolicy(o Options) *Table {
+	t := mustScenarioTable(o, "matrix-policy",
+		"weighted-interleave sweep over the throughput workloads",
+		matrixPolicySpecs())
+	t.AddNote("paper F4: the best ratio is interior and workload-dependent — the knob Caption tunes at runtime (fig13)")
+	return t
+}
+
+// matrixSizeSpecs sweeps working-set size over the size-aware workloads at
+// a fixed 50:50 interleave.
+func matrixSizeSpecs() []string {
+	sizes := []string{"64M", "256M", "1G"}
+	heads := []string{"kvstore", "fluid", "dlrm"}
+	var specs []string
+	for _, h := range heads {
+		for _, s := range sizes {
+			specs = append(specs, fmt.Sprintf("%s/policy=interleave/size=%s", h, s))
+		}
+	}
+	return specs
+}
+
+func runMatrixSize(o Options) *Table {
+	t := mustScenarioTable(o, "matrix-size",
+		"working-set size sweep at 50:50 interleave",
+		matrixSizeSpecs())
+	t.AddNote("size moves the LLC-resident share: small sets hide the CXL latency, large sets expose device bandwidth (O6)")
+	return t
+}
+
+// AllMatrixScenarios returns the union of every matrix experiment's cells
+// in deterministic order, deduplicated by canonical spec — the -scenario
+// all cross product.
+func AllMatrixScenarios() []workloads.Scenario {
+	var specs []string
+	specs = append(specs, matrixAppsSpecs()...)
+	specs = append(specs, matrixPolicySpecs()...)
+	specs = append(specs, matrixSizeSpecs()...)
+	seen := make(map[string]bool, len(specs))
+	var uniq []string
+	for _, s := range specs {
+		sc := mustScenarios([]string{s})[0]
+		if key := sc.String(); !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, s)
+		}
+	}
+	return mustScenarios(uniq)
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cxlmem/internal/memo"
+	"cxlmem/internal/workloads"
+)
+
+// TestMatrixEquivalenceFreshCache re-asserts the serial-vs-parallel
+// byte-identity contract for the matrix cells with a fresh cell cache per
+// run: the generic TestSerialParallelEquivalence fills the process-wide
+// cache on its serial pass, which would otherwise let memoization serve —
+// and so mask — a racy parallel evaluation.
+func TestMatrixEquivalenceFreshCache(t *testing.T) {
+	serial := DefaultOptions()
+	serial.Quick = true
+	serial.Parallel = 1
+	parallel := serial
+	parallel.Parallel = 8
+	scs := AllMatrixScenarios()
+	want, err := scenarioTableCached(memo.NewCache(), serial, "matrix-all", "x", scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scenarioTableCached(memo.NewCache(), parallel, "matrix-all", "x", scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Errorf("fresh-cache parallel matrix diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			want.Render(), got.Render())
+	}
+}
+
+// TestRunScenarioMemoized asserts the cell cache makes a repeated matrix
+// cell free: the second evaluation is a hit, and the metrics are identical.
+func TestRunScenarioMemoized(t *testing.T) {
+	o := DefaultOptions()
+	o.Quick = true
+	sc, err := workloads.ParseScenario("fluid/policy=interleave/size=64M/seed=41")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0 := cellCache.Hits()
+	a, err := RunScenario(o, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(o, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellCache.Hits() - hits0; got < 1 {
+		t.Errorf("second evaluation missed the cache (hits delta %d)", got)
+	}
+	if len(a.Items) == 0 || len(a.Items) != len(b.Items) {
+		t.Fatalf("metric shapes differ: %d vs %d", len(a.Items), len(b.Items))
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Errorf("memoized metric %d differs: %+v vs %+v", i, a.Items[i], b.Items[i])
+		}
+	}
+}
+
+// TestCellKeyDistinguishesOptions pins that quick/fastwarm/seed all
+// fingerprint the cell key — cached values must never leak across modes.
+func TestCellKeyDistinguishesOptions(t *testing.T) {
+	sc, err := workloads.ParseScenario("dlrm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultOptions()
+	quick := base
+	quick.Quick = true
+	warm := base
+	warm.FastWarmup = true
+	seeded := base
+	seeded.Seed = 99
+	parallel := base
+	parallel.Parallel = 7
+	keys := map[string]bool{}
+	for _, o := range []Options{base, quick, warm, seeded} {
+		keys[o.cellKey(sc)] = true
+	}
+	if len(keys) != 4 {
+		t.Errorf("options collapse onto %d keys, want 4", len(keys))
+	}
+	if base.cellKey(sc) != parallel.cellKey(sc) {
+		t.Error("worker count must not change the cell key")
+	}
+}
+
+// TestScenarioTableErrors surfaces a broken cell as an error, not a panic.
+func TestScenarioTableErrors(t *testing.T) {
+	o := DefaultOptions()
+	o.Quick = true
+	sc, err := workloads.ParseScenario("ycsb/device=CXL-Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScenarioTable(o, "x", "x", []workloads.Scenario{sc}); err == nil {
+		t.Error("bad device cell should fail the table")
+	}
+}
+
+// TestAllMatrixScenarios checks the -scenario all cross product: every
+// registered workload appears, specs are unique, and each cell runs.
+func TestAllMatrixScenarios(t *testing.T) {
+	all := AllMatrixScenarios()
+	seen := map[string]bool{}
+	covered := map[string]bool{}
+	for _, sc := range all {
+		key := sc.String()
+		if seen[key] {
+			t.Errorf("duplicate cell %q", key)
+		}
+		seen[key] = true
+		covered[sc.Workload] = true
+	}
+	for _, name := range workloads.Names() {
+		if !covered[name] {
+			t.Errorf("matrix misses workload %s", name)
+		}
+	}
+	o := DefaultOptions()
+	o.Quick = true
+	tbl, err := ScenarioTable(o, "matrix-all", "full matrix", all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(all) {
+		t.Errorf("table has %d rows for %d cells", len(tbl.Rows), len(all))
+	}
+	if !strings.Contains(tbl.Render(), "ycsb:a/policy=weighted:85,15") {
+		t.Error("rendered matrix missing an expected cell spec")
+	}
+}

@@ -96,6 +96,7 @@ const (
 	SoftIP
 )
 
+// String names the controller kind as Table 1 does.
 func (k IPKind) String() string {
 	switch k {
 	case HostMC:

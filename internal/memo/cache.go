@@ -1,0 +1,63 @@
+package memo
+
+import "sync"
+
+// Cache memoizes expensive measurement results by canonical key with
+// single-flight semantics: concurrent callers of Do with the same key block
+// on one computation and share its result, so repeated matrix cells — the
+// same scenario appearing in matrix-apps and matrix-policy, or a re-run
+// under a different worker count — are free after the first evaluation.
+//
+// Keys must be canonical (the scenario engine uses Scenario.String plus an
+// options fingerprint): two keys are the same cell if and only if the
+// strings are equal. A Cache is safe for concurrent use; the zero value is
+// not — use NewCache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewCache creates an empty result cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// Do returns the memoized result for key, computing it with compute on the
+// first call. An error result is cached too: a failing cell fails the same
+// way on every revisit instead of recomputing.
+func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.val, e.err = compute()
+	})
+	return e.val, e.err
+}
+
+// Len reports the number of distinct keys computed or in flight.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Hits reports how many Do calls were served from the cache.
+func (c *Cache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}

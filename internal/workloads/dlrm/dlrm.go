@@ -71,30 +71,41 @@ func (c Config) Validate() error {
 }
 
 // hitRate returns the LLC hit probability of the access stream given an
-// effective LLC capacity: the LRU cache preferentially retains the hot
-// region (its items have far higher reuse probability), then spills into the
-// cold region.
+// effective LLC capacity (the shared fluid.FootprintHitRate model).
 func (c Config) hitRate(capacityBytes int64) float64 {
-	hot := c.HotFraction * capf(capacityBytes, c.HotBytes)
-	var cold float64
-	if rem := capacityBytes - c.HotBytes; rem > 0 && c.ColdBytes > 0 {
-		cold = (1 - c.HotFraction) * capf(rem, c.ColdBytes)
-	}
-	return hot + cold
+	return fluid.FootprintHitRate(capacityBytes, c.HotBytes, c.ColdBytes, c.HotFraction)
 }
 
-func capf(have, want int64) float64 {
-	if want <= 0 {
-		return 1
+// WithTableBytes returns a copy of the config resized so the embedding
+// tables total totalBytes: the hot region keeps its size (and the hot
+// fraction its meaning) while the cold remainder absorbs the change. Tables
+// smaller than the hot region shrink the hot region itself.
+func (c Config) WithTableBytes(totalBytes int64) Config {
+	if totalBytes <= 0 {
+		return c
 	}
-	f := float64(have) / float64(want)
-	if f < 0 {
-		return 0
+	if totalBytes <= c.HotBytes {
+		c.HotBytes = totalBytes
+		c.ColdBytes = 0
+		return c
 	}
-	if f > 1 {
-		return 1
+	c.ColdBytes = totalBytes - c.HotBytes
+	return c
+}
+
+// ScenarioByName resolves the Table-3 scenario names used by scenario specs
+// ("alone", "contended", "nosnc").
+func ScenarioByName(name string) (Scenario, error) {
+	switch name {
+	case "alone":
+		return SNCAlone, nil
+	case "contended":
+		return SNCContended, nil
+	case "nosnc":
+		return NoSNC, nil
+	default:
+		return 0, fmt.Errorf("dlrm: unknown scenario %q (want alone, contended or nosnc)", name)
 	}
-	return f
 }
 
 // Scenario selects the LLC visibility of the run (Table 3).

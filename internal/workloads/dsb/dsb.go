@@ -96,6 +96,21 @@ func (w Workload) String() string {
 // Workloads returns the three evaluated workloads in Fig. 6 order.
 func Workloads() []Workload { return []Workload{ComposePosts, ReadUserTimelines, Mixed} }
 
+// WorkloadByName resolves the scenario-spec names: "compose" (Fig. 6b),
+// "readuser" (Fig. 6c) and "mixed" (Fig. 6d).
+func WorkloadByName(name string) (Workload, error) {
+	switch name {
+	case "compose":
+		return ComposePosts, nil
+	case "readuser":
+		return ReadUserTimelines, nil
+	case "mixed":
+		return Mixed, nil
+	default:
+		return 0, fmt.Errorf("dsb: unknown workload %q (want compose, readuser or mixed)", name)
+	}
+}
+
 // Spec returns the per-tier parameters of a workload. Working sets follow
 // Table 2; service times and per-request traffic are calibrated to the
 // paper's saturation points (compose ~5 kQPS at 7 GB/s, read ~40 kQPS at

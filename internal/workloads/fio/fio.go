@@ -76,6 +76,17 @@ func BlockSizes() []int {
 	return []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
 }
 
+// BlockSizeByName resolves a scenario-spec block name ("4k" .. "512k") to
+// its byte count; only the Fig. 8 sweep sizes are accepted.
+func BlockSizeByName(name string) (int, error) {
+	for _, b := range BlockSizes() {
+		if name == fmt.Sprintf("%dk", b>>10) {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("fio: unknown block size %q (want 4k, 8k, ... 512k)", name)
+}
+
 // hitRate models the page-cache hit probability per I/O as a function of
 // block size: small blocks enjoy the zipfian hot set; larger blocks span
 // extents whose tails fall out of the cache. Calibrated to the paper's

@@ -69,6 +69,35 @@ type RateFn func(avgLatencyNS float64) float64
 // access stream (topo.LLCHitLatency).
 const LLCHitLatencyNS = 33.0
 
+// FootprintHitRate is the shared LLC hit-rate model of the footprint-based
+// workloads (DLRM embeddings, SPEC surrogates): an LRU cache preferentially
+// retains the hot region — its items have far higher reuse probability —
+// then spills into the cold remainder. hotFraction of accesses target the
+// hot region of hotBytes; the rest target coldBytes.
+func FootprintHitRate(capacityBytes, hotBytes, coldBytes int64, hotFraction float64) float64 {
+	hot := hotFraction * capf(capacityBytes, hotBytes)
+	var cold float64
+	if rem := capacityBytes - hotBytes; rem > 0 && coldBytes > 0 {
+		cold = (1 - hotFraction) * capf(rem, coldBytes)
+	}
+	return hot + cold
+}
+
+// capf is the capped capacity fraction have/want clamped to [0, 1].
+func capf(have, want int64) float64 {
+	if want <= 0 {
+		return 1
+	}
+	f := float64(have) / float64(want)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
 // Solve iterates the latency/bandwidth feedback loop to a fixed point.
 // classes must have positive total weight; iters of ~50 is plenty (the
 // damped iteration converges geometrically).

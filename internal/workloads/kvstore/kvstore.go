@@ -28,6 +28,10 @@ import (
 	"cxlmem/internal/workloads/ycsb"
 )
 
+// recordOverheadBytes is the per-record metadata beyond the value: dict
+// entry, robj and sds headers.
+const recordOverheadBytes = 128
+
 // Config sizes the store and its per-operation costs.
 type Config struct {
 	// Keys is the number of records.
@@ -63,6 +67,21 @@ func (c Config) Validate() error {
 		return fmt.Errorf("kvstore: invalid config %+v", c)
 	}
 	return nil
+}
+
+// WithHeapBytes returns a copy of the config with the key count resized so
+// the store's heap (value + per-record metadata, the same accounting New
+// uses) totals approximately heapBytes. At least one key is kept.
+func (c Config) WithHeapBytes(heapBytes int64) Config {
+	if heapBytes <= 0 {
+		return c
+	}
+	keys := heapBytes / int64(c.ValueBytes+recordOverheadBytes)
+	if keys < 1 {
+		keys = 1
+	}
+	c.Keys = int(keys)
+	return c
 }
 
 // Store is one Redis instance whose heap pages are spread across DDR and a
@@ -106,7 +125,7 @@ func New(sys *topo.System, cfg Config, cxlName string, cxlPercent float64) *Stor
 		rng:   sim.NewRng(cfg.Seed),
 	}
 	// Record = dict entry + object header + value, rounded to lines.
-	s.bytesPerKey = cfg.ValueBytes + 128
+	s.bytesPerKey = cfg.ValueBytes + recordOverheadBytes
 	s.pagesPerKey = (s.bytesPerKey + numa.PageBytes - 1) / numa.PageBytes
 	if s.pagesPerKey == 0 {
 		s.pagesPerKey = 1

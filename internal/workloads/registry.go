@@ -1,0 +1,97 @@
+// The workload registry: the single place experiment drivers, the scenario
+// engine and the cxlbench command discover runnable application models.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Workload{}
+)
+
+// Register adds a workload under its Name. It panics on duplicates or empty
+// names — registration happens in init and a collision is a programming
+// error, matching the experiments registry.
+func Register(w Workload) {
+	name := w.Name()
+	if name == "" || name != strings.ToLower(name) {
+		panic(fmt.Sprintf("workloads: invalid registry name %q (must be non-empty lowercase)", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("workloads: duplicate workload " + name)
+	}
+	registry[name] = w
+}
+
+// Get returns the registered workload with the given name.
+func Get(name string) (Workload, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return w, nil
+}
+
+// All returns every registered workload sorted by name.
+func All() []Workload {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Catalog renders the registry as markdown table rows (one per workload:
+// name, variants, default knobs, description) — the generated scenario
+// catalog embedded in EXPERIMENTS.md. Regenerate with
+//
+//	go run ./cmd/cxlbench -scenario list
+func Catalog() string {
+	var b strings.Builder
+	b.WriteString("| Workload | Variants | Default knobs | Models |\n")
+	b.WriteString("|----------|----------|---------------|--------|\n")
+	for _, w := range All() {
+		cfg := w.DefaultConfig()
+		knobs := []string{fmt.Sprintf("cxl=%g%%", cfg.CXLPercent)}
+		if cfg.SizeBytes > 0 {
+			knobs = append(knobs, "size="+FormatBytes(cfg.SizeBytes))
+		}
+		if cfg.TargetQPS > 0 {
+			knobs = append(knobs, fmt.Sprintf("qps=%g", cfg.TargetQPS))
+		}
+		if cfg.Threads > 0 {
+			knobs = append(knobs, fmt.Sprintf("threads=%d", cfg.Threads))
+		}
+		if cfg.Ops > 0 {
+			knobs = append(knobs, fmt.Sprintf("ops=%d", cfg.Ops))
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | `%s` | %s |\n",
+			w.Name(), strings.Join(w.Variants(), ", "), strings.Join(knobs, " "), w.Desc())
+	}
+	return b.String()
+}

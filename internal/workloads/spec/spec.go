@@ -18,6 +18,7 @@ package spec
 
 import (
 	"fmt"
+	"strings"
 
 	"cxlmem/internal/cache"
 	"cxlmem/internal/mem"
@@ -73,28 +74,43 @@ func ByName(name string) (Profile, error) {
 	return Profile{}, fmt.Errorf("spec: unknown benchmark %q", name)
 }
 
-// hitRate mirrors the DLRM footprint model.
+// hitRate mirrors the DLRM footprint model (fluid.FootprintHitRate).
 func (p Profile) hitRate(capacityBytes int64) float64 {
-	hot := p.HotFraction * capf(capacityBytes, p.HotBytes)
-	var cold float64
-	if rem := capacityBytes - p.HotBytes; rem > 0 && p.ColdBytes > 0 {
-		cold = (1 - p.HotFraction) * capf(rem, p.ColdBytes)
-	}
-	return hot + cold
+	return fluid.FootprintHitRate(capacityBytes, p.HotBytes, p.ColdBytes, p.HotFraction)
 }
 
-func capf(have, want int64) float64 {
-	if want <= 0 {
-		return 1
+// MixByName resolves the mix names used by scenario specs: an individual
+// benchmark name (matched case-insensitively, since spec strings normalize
+// to lower case) runs instances of that benchmark alone; "mix" runs all
+// four paper benchmarks together, instances split evenly.
+func MixByName(name string, instances int) ([]Member, error) {
+	if instances <= 0 {
+		return nil, fmt.Errorf("spec: non-positive instance count %d", instances)
 	}
-	f := float64(have) / float64(want)
-	if f < 0 {
-		return 0
+	if strings.EqualFold(name, "mix") {
+		ps := Profiles()
+		// Split exactly: the first (instances mod members) benchmarks take
+		// one extra so the total equals the request; with fewer instances
+		// than benchmarks, the tail members drop out of the mix.
+		per, extra := instances/len(ps), instances%len(ps)
+		var members []Member
+		for i, p := range ps {
+			n := per
+			if i < extra {
+				n++
+			}
+			if n > 0 {
+				members = append(members, Member{Profile: p, Instances: n})
+			}
+		}
+		return members, nil
 	}
-	if f > 1 {
-		return 1
+	for _, p := range Profiles() {
+		if strings.EqualFold(p.Name, name) {
+			return []Member{{Profile: p, Instances: instances}}, nil
+		}
 	}
-	return f
+	return nil, fmt.Errorf("spec: unknown benchmark %q", name)
 }
 
 // Member is one workload of a mix.

@@ -7,6 +7,7 @@ package ycsb
 
 import (
 	"fmt"
+	"strings"
 
 	"cxlmem/internal/sim"
 )
@@ -119,6 +120,27 @@ func WorkloadByName(name string) (Workload, error) {
 		}
 	}
 	return Workload{}, fmt.Errorf("ycsb: unknown workload %q", name)
+}
+
+// Aliases maps the descriptive scenario-spec names onto the YCSB letters:
+// updateheavy=A, readmostly=B, readonly=C, readlatest=D, rmw=F.
+func Aliases() map[string]string {
+	return map[string]string{
+		"updateheavy": "A",
+		"readmostly":  "B",
+		"readonly":    "C",
+		"readlatest":  "D",
+		"rmw":         "F",
+	}
+}
+
+// WorkloadByAlias resolves a workload by letter (either case) or by the
+// descriptive aliases of Aliases.
+func WorkloadByAlias(name string) (Workload, error) {
+	if canonical, ok := Aliases()[strings.ToLower(name)]; ok {
+		name = canonical
+	}
+	return WorkloadByName(strings.ToUpper(name))
 }
 
 // WriteFraction returns the fraction of operations that write (updates,

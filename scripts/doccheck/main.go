@@ -1,0 +1,151 @@
+// Command doccheck fails when exported identifiers in the given packages
+// lack doc comments — the CI docs job runs it over internal/workloads and
+// internal/experiments so the registry and scenario engine stay fully
+// documented.
+//
+// Usage:
+//
+//	go run ./scripts/doccheck ./internal/workloads/... ./internal/experiments
+//
+// Checked: package clauses, exported top-level types, functions, methods,
+// constants and variables. Grouped const/var blocks need one comment on the
+// group or on each exported name.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-pattern>...")
+		os.Exit(2)
+	}
+	dirs, err := resolveDirs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	var missing []string
+	for _, dir := range dirs {
+		m, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		missing = append(missing, m...)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments:\n", len(missing))
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+}
+
+// resolveDirs expands go-style package patterns into directories via go list.
+func resolveDirs(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}"}, patterns...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v", patterns, err)
+	}
+	var dirs []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			dirs = append(dirs, line)
+		}
+	}
+	return dirs, nil
+}
+
+// checkDir parses one package directory (tests excluded) and reports
+// exported identifiers without doc comments as "file:line: name".
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", filepath.Base(p.Filename), p.Line, name))
+	}
+	for _, pkg := range pkgs {
+		pkgDocumented := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				pkgDocumented = true
+			}
+		}
+		if !pkgDocumented {
+			missing = append(missing, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for fname, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						report(d.Pos(), funcName(d))
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+			_ = fname
+		}
+	}
+	return missing, nil
+}
+
+// funcName renders "Recv.Method" or "Func" for a declaration.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// checkGenDecl walks a const/var/type block. A doc comment on the block
+// covers every spec; otherwise each exported spec needs its own.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return
+	}
+	blockDocumented := d.Doc != nil
+	for _, s := range d.Specs {
+		switch spec := s.(type) {
+		case *ast.TypeSpec:
+			if spec.Name.IsExported() && !blockDocumented && spec.Doc == nil {
+				report(spec.Pos(), spec.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if blockDocumented || spec.Doc != nil || spec.Comment != nil {
+				continue
+			}
+			for _, n := range spec.Names {
+				if n.IsExported() {
+					report(n.Pos(), n.Name)
+				}
+			}
+		}
+	}
+}
