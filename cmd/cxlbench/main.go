@@ -19,6 +19,14 @@
 //	cxlbench -scenario all            # the full matrix cross product
 //	cxlbench -scenario list           # registered workloads + their knobs
 //
+// The machine side of a cell is a registered platform profile. -platform
+// selects the default platform for -scenario runs (a spec's own platform=
+// key wins), and -platform list shows the registry:
+//
+//	cxlbench -platform list
+//	cxlbench -platform x16-quad -scenario 'dlrm/policy=interleave'
+//	cxlbench -scenario 'kvstore/platform=fpga-degraded'
+//
 // A single experiment fans its independent operating points across
 // -parallel workers (default: all CPUs). -run all spends the same budget one
 // level up: whole experiments run concurrently on -parallel workers, each
@@ -43,6 +51,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
 	scenario := flag.String("scenario", "", "scenario spec to evaluate, 'all' for the full matrix, or 'list'")
+	platform := flag.String("platform", "", "platform profile for -scenario runs, or 'list'")
 	quick := flag.Bool("quick", false, "reduced sample counts")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all CPUs)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
@@ -63,7 +72,16 @@ func main() {
 	}
 
 	cfg := cxlmem.RunConfig{Quick: *quick, Parallel: *parallel, Seed: *seed, FastWarmup: *fastwarm}
+	if *platform != "" && *platform != "list" {
+		cfg.Platform = *platform
+	}
 	switch {
+	case *platform == "list":
+		for _, p := range cxlmem.Platforms() {
+			fmt.Printf("%-14s %s\n               devices: %s\n", p.Name, p.Desc, strings.Join(p.Devices, ", "))
+		}
+		fmt.Println("\ncatalog (EXPERIMENTS.md form):")
+		fmt.Print(cxlmem.PlatformCatalog())
 	case *list:
 		for _, e := range cxlmem.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Desc)

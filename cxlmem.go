@@ -18,6 +18,7 @@ package cxlmem
 
 import (
 	"fmt"
+	"strings"
 
 	"cxlmem/internal/core"
 	"cxlmem/internal/experiments"
@@ -41,6 +42,41 @@ func NewSystem() *System {
 func NewMicrobenchSystem() *System {
 	return topo.NewSystem(topo.MicrobenchConfig())
 }
+
+// NewPlatformSystem builds a fresh system from a registered platform
+// profile ("table1", "x16-quad", "snc-off", "fpga-degraded", ...).
+func NewPlatformSystem(name string) (*System, error) {
+	return topo.BuildPlatform(name)
+}
+
+// PlatformInfo describes one registered platform profile.
+type PlatformInfo struct {
+	// Name is the registry key accepted by RunConfig.Platform and the
+	// platform= scenario spec key.
+	Name string
+	// Desc is a one-line description.
+	Desc string
+	// Devices lists the platform's far-memory device names in presentation
+	// order (the accepted device= values beyond DDR5-L).
+	Devices []string
+}
+
+// Platforms lists every registered platform profile, the default first.
+func Platforms() []PlatformInfo {
+	var out []PlatformInfo
+	for _, p := range topo.AllPlatforms() {
+		info := PlatformInfo{Name: p.Name, Desc: p.Desc}
+		for _, d := range p.Spec.Devices {
+			info.Devices = append(info.Devices, d.Name)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// PlatformCatalog renders the platform registry as the markdown catalog
+// embedded in EXPERIMENTS.md.
+func PlatformCatalog() string { return topo.PlatformCatalog() }
 
 // ExperimentInfo describes one reproducible table or figure.
 type ExperimentInfo struct {
@@ -74,6 +110,10 @@ type RunConfig struct {
 	// ablation-llc, at the cost of last-digit shifts versus the pinned
 	// exact-warmup tables.
 	FastWarmup bool
+	// Platform selects the registered platform profile scenario runs use
+	// by default (a spec's own platform= key wins); empty keeps the
+	// Table-1 default. The paper's fixed figures always run on Table 1.
+	Platform string
 }
 
 // RunExperiment regenerates the table or figure with the given ID at full
@@ -93,6 +133,10 @@ func (cfg RunConfig) options() experiments.Options {
 	opts.Quick = cfg.Quick
 	opts.Parallel = cfg.Parallel
 	opts.FastWarmup = cfg.FastWarmup
+	// Platform names are lowercase in the registry; normalize here so the
+	// flag/API accepts the same spellings as the platform= spec key (and the
+	// memo cell key never forks on case).
+	opts.Platform = strings.ToLower(cfg.Platform)
 	if cfg.Seed != 0 {
 		opts.Seed = cfg.Seed
 	}
@@ -105,7 +149,13 @@ func RunExperimentCfg(id string, cfg RunConfig) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return e.Run(cfg.options()).Render(), nil
+	opts := cfg.options()
+	// Registered drivers treat cell failures as programming errors (panic),
+	// so reject bad user-supplied options before dispatching.
+	if err := opts.Validate(); err != nil {
+		return "", err
+	}
+	return e.Run(opts).Render(), nil
 }
 
 // ScenarioInfo describes one registered workload of the scenario engine.

@@ -22,8 +22,8 @@ func TestNewSystems(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	infos := Experiments()
-	if len(infos) != 27 {
-		t.Errorf("expected 27 experiments, got %d", len(infos))
+	if len(infos) != 28 {
+		t.Errorf("expected 28 experiments, got %d", len(infos))
 	}
 	for _, info := range infos {
 		if info.ID == "" || info.Desc == "" {
@@ -51,6 +51,48 @@ func TestScenarioFacade(t *testing.T) {
 	}
 	if !strings.Contains(ScenarioCatalog(), "| `ycsb` |") {
 		t.Error("catalog missing ycsb row")
+	}
+}
+
+func TestPlatformFacade(t *testing.T) {
+	infos := Platforms()
+	if len(infos) < 4 {
+		t.Fatalf("expected >= 4 platforms, got %d", len(infos))
+	}
+	if infos[0].Name != "table1" || len(infos[0].Devices) != 4 {
+		t.Errorf("default platform should lead with its 4 devices: %+v", infos[0])
+	}
+	sys, err := NewPlatformSystem("x16-quad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Paths()); got != 5 {
+		t.Errorf("x16-quad has %d paths, want 5", got)
+	}
+	if _, err := NewPlatformSystem("nope"); err == nil {
+		t.Error("unknown platform should error")
+	}
+	if !strings.Contains(PlatformCatalog(), "| `x16-quad` |") {
+		t.Error("catalog missing x16-quad row")
+	}
+	out, err := RunScenario("fluid", RunConfig{Quick: true, Platform: "snc-off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "system_bw") {
+		t.Errorf("platformed scenario rendering missing primary metric:\n%s", out)
+	}
+	if _, err := RunScenario("fluid", RunConfig{Platform: "nope"}); err == nil {
+		t.Error("unknown RunConfig platform should error")
+	}
+	// Platform names normalize like the platform= spec key does.
+	if _, err := RunScenario("fluid", RunConfig{Quick: true, Platform: "SNC-OFF"}); err != nil {
+		t.Errorf("uppercase platform name should normalize: %v", err)
+	}
+	// A bad platform must surface as an error from the matrix experiments,
+	// not as a panic inside their code-defined-cells-cannot-fail drivers.
+	if _, err := RunExperimentCfg("matrix-apps", RunConfig{Quick: true, Platform: "nope"}); err == nil {
+		t.Error("unknown platform should fail matrix experiments cleanly")
 	}
 }
 

@@ -32,6 +32,11 @@ type Options struct {
 	// values can shift in the last digit, so the default stays exact —
 	// the golden-table corpus pins the exact-mode rendering.
 	FastWarmup bool
+	// Platform selects the registered platform profile scenario cells run
+	// on by default (a cell's own platform= key wins); empty keeps the
+	// Table-1 default. The paper's fixed figures always run on Table 1 and
+	// ignore it.
+	Platform string
 }
 
 // warmup resolves the options' warmup policy for mlc buffer measurements.

@@ -45,7 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 	}
 	want = append(want, "ablation-llc", "ablation-coherence", "ablation-estimator")
-	want = append(want, "matrix-apps", "matrix-policy", "matrix-size")
+	want = append(want, "matrix-apps", "matrix-policy", "matrix-size", "matrix-platform")
 	if len(IDs()) != len(want) {
 		t.Errorf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
 	}

@@ -1,7 +1,8 @@
 // Scenario-matrix engine (DESIGN.md §8).
 //
 // The matrix experiments take the cross product of {workload × interleaving
-// policy × working-set size} from the internal/workloads registry and
+// policy × working-set size × platform profile} from the internal/workloads
+// and internal/topo registries and
 // dispatch every cell through the parallel sweep engine (sweep.go). Cells
 // are memoized process-wide in a memo.Cache keyed by the canonical scenario
 // spec plus an options fingerprint, so cells shared between matrices — and
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"cxlmem/internal/memo"
+	"cxlmem/internal/topo"
 	"cxlmem/internal/workloads"
 )
 
@@ -21,6 +23,7 @@ func init() {
 	register("matrix-apps", "scenario matrix: every registered workload x DDR/interleave/CXL placement", runMatrixApps)
 	register("matrix-policy", "scenario matrix: throughput workloads x 5 interleaving policies", runMatrixPolicy)
 	register("matrix-size", "scenario matrix: size-aware workloads x working-set sizes", runMatrixSize)
+	register("matrix-platform", "scenario matrix: representative workloads x every registered platform profile", runMatrixPlatform)
 }
 
 // cellCache memoizes evaluated matrix cells for the lifetime of the
@@ -29,22 +32,47 @@ func init() {
 // byte-identical serial-vs-parallel contract.
 var cellCache = memo.NewCache()
 
-// cellKey is the memoization key of one (scenario, options) cell.
-func (o Options) cellKey(sc workloads.Scenario) string {
-	return fmt.Sprintf("%s|quick=%t|fastwarm=%t|seed=%d", sc.String(), o.Quick, o.FastWarmup, o.Seed)
+// Validate reports option errors a dispatching caller can surface cleanly —
+// currently an unregistered platform name, which would otherwise fail (or,
+// inside the code-defined matrix drivers, panic) only once a cell runs.
+func (o Options) Validate() error {
+	if o.Platform != "" {
+		if _, err := topo.PlatformByName(o.Platform); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// scenarioEnv builds the workload environment for the options. The default
-// experiment seed keeps each workload's calibrated seed; an explicit -seed
-// override perturbs every cell.
-func (o Options) scenarioEnv() *workloads.Env {
-	env := workloads.NewEnv()
+// cellKey is the memoization key of one (scenario, options) cell. The
+// options' platform joins the fingerprint because a cell without its own
+// platform= key inherits it — cached values must never leak across machines.
+func (o Options) cellKey(sc workloads.Scenario) string {
+	return fmt.Sprintf("%s|quick=%t|fastwarm=%t|seed=%d|platform=%s",
+		sc.String(), o.Quick, o.FastWarmup, o.Seed, o.Platform)
+}
+
+// scenarioEnv builds the workload environment for one cell: the cell's own
+// platform when it names one (so Scenario.Run's ForPlatform is a no-op and
+// each cell builds exactly one System), the options' platform otherwise,
+// Table 1 when neither is set — with the cross-cutting run knobs. The
+// default experiment seed keeps each workload's calibrated seed; an
+// explicit -seed override perturbs every cell.
+func (o Options) scenarioEnv(cellPlatform string) (*workloads.Env, error) {
+	platform := cellPlatform
+	if platform == "" {
+		platform = o.Platform
+	}
+	env, err := workloads.NewEnvOn(platform)
+	if err != nil {
+		return nil, err
+	}
 	env.Quick = o.Quick
 	env.FastWarmup = o.FastWarmup
 	if o.Seed != DefaultOptions().Seed {
 		env.Seed = o.Seed
 	}
-	return env
+	return env, nil
 }
 
 // RunScenario evaluates one scenario cell under the options, memoized in
@@ -59,7 +87,11 @@ func RunScenario(o Options, sc workloads.Scenario) (workloads.Metrics, error) {
 // concurrency bug in cell evaluation.
 func runScenarioCached(cache *memo.Cache, o Options, sc workloads.Scenario) (workloads.Metrics, error) {
 	v, err := cache.Do(o.cellKey(sc), func() (any, error) {
-		return sc.Run(o.scenarioEnv())
+		env, err := o.scenarioEnv(sc.Platform)
+		if err != nil {
+			return nil, err
+		}
+		return sc.Run(env)
 	})
 	if err != nil {
 		return workloads.Metrics{}, err
@@ -203,6 +235,28 @@ func runMatrixSize(o Options) *Table {
 	return t
 }
 
+// matrixPlatformSpecs crosses a latency-, a bandwidth- and a
+// stream-oriented workload with every registered platform profile, each
+// cell running against the platform's default far device.
+func matrixPlatformSpecs() []string {
+	heads := []string{"kvstore", "dlrm", "fluid"}
+	var specs []string
+	for _, h := range heads {
+		for _, p := range topo.PlatformNames() {
+			specs = append(specs, fmt.Sprintf("%s/platform=%s", h, p))
+		}
+	}
+	return specs
+}
+
+func runMatrixPlatform(o Options) *Table {
+	t := mustScenarioTable(o, "matrix-platform",
+		"representative workloads across every registered platform profile",
+		matrixPlatformSpecs())
+	t.AddNote("the machine moves the numbers as much as the policy: ASIC x16 expanders close on DDR while the degraded FPGA collapses throughput (O2)")
+	return t
+}
+
 // AllMatrixScenarios returns the union of every matrix experiment's cells
 // in deterministic order, deduplicated by canonical spec — the -scenario
 // all cross product.
@@ -211,6 +265,7 @@ func AllMatrixScenarios() []workloads.Scenario {
 	specs = append(specs, matrixAppsSpecs()...)
 	specs = append(specs, matrixPolicySpecs()...)
 	specs = append(specs, matrixSizeSpecs()...)
+	specs = append(specs, matrixPlatformSpecs()...)
 	seen := make(map[string]bool, len(specs))
 	var uniq []string
 	for _, s := range specs {

@@ -65,8 +65,9 @@ func TestRunScenarioMemoized(t *testing.T) {
 	}
 }
 
-// TestCellKeyDistinguishesOptions pins that quick/fastwarm/seed all
-// fingerprint the cell key — cached values must never leak across modes.
+// TestCellKeyDistinguishesOptions pins that quick/fastwarm/seed/platform all
+// fingerprint the cell key — cached values must never leak across modes or
+// machines.
 func TestCellKeyDistinguishesOptions(t *testing.T) {
 	sc, err := workloads.ParseScenario("dlrm")
 	if err != nil {
@@ -79,17 +80,133 @@ func TestCellKeyDistinguishesOptions(t *testing.T) {
 	warm.FastWarmup = true
 	seeded := base
 	seeded.Seed = 99
+	platformed := base
+	platformed.Platform = "snc-off"
 	parallel := base
 	parallel.Parallel = 7
 	keys := map[string]bool{}
-	for _, o := range []Options{base, quick, warm, seeded} {
+	for _, o := range []Options{base, quick, warm, seeded, platformed} {
 		keys[o.cellKey(sc)] = true
 	}
-	if len(keys) != 4 {
-		t.Errorf("options collapse onto %d keys, want 4", len(keys))
+	if len(keys) != 5 {
+		t.Errorf("options collapse onto %d keys, want 5", len(keys))
 	}
 	if base.cellKey(sc) != parallel.cellKey(sc) {
 		t.Error("worker count must not change the cell key")
+	}
+}
+
+// TestOptionsPlatform covers the options-level platform default: cells run
+// on the named machine, an unknown name surfaces as an error, and a cell's
+// own platform= key beats the option.
+func TestOptionsPlatform(t *testing.T) {
+	o := DefaultOptions()
+	o.Quick = true
+	o.Platform = "fpga-degraded"
+	sc, err := workloads.ParseScenario("fluid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onF, err := runScenarioCached(memo.NewCache(), o, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := o
+	base.Platform = ""
+	onTable1, err := runScenarioCached(memo.NewCache(), base, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBW, _ := onF.Get("system_bw")
+	tBW, _ := onTable1.Get("system_bw")
+	if fBW >= tBW {
+		t.Errorf("degraded FPGA bandwidth %.2f should trail Table 1's %.2f", fBW, tBW)
+	}
+	// A cell's own platform= key wins over the options' default.
+	pinned, err := workloads.ParseScenario("fluid/platform=table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onPinned, err := runScenarioCached(memo.NewCache(), o, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBW, _ := onPinned.Get("system_bw"); pBW != tBW {
+		t.Errorf("cell-level platform should override the option: %.2f vs %.2f", pBW, tBW)
+	}
+	bad := o
+	bad.Platform = "atari2600"
+	if _, err := runScenarioCached(memo.NewCache(), bad, sc); err == nil {
+		t.Error("unknown options platform should fail the cell")
+	}
+}
+
+// TestOptionsValidate accepts registered (and empty) platforms and rejects
+// unknown ones — the pre-dispatch check that keeps a bad -platform out of
+// the panic-on-failure matrix drivers.
+func TestOptionsValidate(t *testing.T) {
+	o := DefaultOptions()
+	if err := o.Validate(); err != nil {
+		t.Errorf("default options: %v", err)
+	}
+	o.Platform = "x16-quad"
+	if err := o.Validate(); err != nil {
+		t.Errorf("registered platform: %v", err)
+	}
+	o.Platform = "atari2600"
+	if err := o.Validate(); err == nil {
+		t.Error("unknown platform should fail validation")
+	}
+}
+
+// TestScenarioEnvBuildsCellPlatform pins the one-System-per-cell contract:
+// the env handed to a platformed cell is already on the cell's platform, so
+// Scenario.Run's ForPlatform resolves to the identity.
+func TestScenarioEnvBuildsCellPlatform(t *testing.T) {
+	o := DefaultOptions()
+	o.Platform = "snc-off"
+	env, err := o.scenarioEnv("fpga-degraded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Platform != "fpga-degraded" {
+		t.Errorf("cell platform should beat the option: %q", env.Platform)
+	}
+	same, err := env.ForPlatform("fpga-degraded")
+	if err != nil || same != env {
+		t.Error("ForPlatform on the cell's platform should be the identity")
+	}
+	env, err = o.scenarioEnv("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Platform != "snc-off" {
+		t.Errorf("platformless cell should inherit the option: %q", env.Platform)
+	}
+}
+
+// TestMatrixPlatformShape pins the headline matrix's coverage contract:
+// at least 3 workloads crossed with every registered platform (>= 4).
+func TestMatrixPlatformShape(t *testing.T) {
+	specs := matrixPlatformSpecs()
+	wls := map[string]bool{}
+	plats := map[string]bool{}
+	for _, s := range specs {
+		sc, err := workloads.ParseScenario(s)
+		if err != nil {
+			t.Fatalf("matrix-platform spec %q: %v", s, err)
+		}
+		wls[sc.Workload] = true
+		plats[sc.Platform] = true
+	}
+	if len(wls) < 3 {
+		t.Errorf("matrix-platform crosses %d workloads, want >= 3", len(wls))
+	}
+	if len(plats) < 4 {
+		t.Errorf("matrix-platform crosses %d platforms, want >= 4", len(plats))
+	}
+	if len(specs) != len(wls)*len(plats) {
+		t.Errorf("%d cells for a %dx%d cross", len(specs), len(wls), len(plats))
 	}
 }
 

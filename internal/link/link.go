@@ -103,6 +103,19 @@ func CXLx8() *Link {
 	}
 }
 
+// CXLx16 returns a CXL 1.1 link over PCIe 5.0 x16 — the wide-link
+// configuration of multi-expander platforms: double the x8 lane count, so
+// 64 GB/s raw per direction, through the same Flex Bus PHY + CXL stack
+// (lane count does not change the protocol-layer propagation).
+func CXLx16() *Link {
+	return &Link{
+		Name:            "CXL x16",
+		Propagation:     40 * sim.Nanosecond,
+		BandwidthPerDir: 64,
+		FullDuplex:      true,
+	}
+}
+
 // Mesh returns the on-die mesh segment between a core's CHA and a memory
 // controller or the CXL root port: a couple of nanoseconds and effectively
 // unconstrained bandwidth at the granularity we model.

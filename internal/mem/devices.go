@@ -117,3 +117,42 @@ func CXLC() *Device {
 func AllCXLDevices() []*Device {
 	return []*Device{CXLA(), CXLB(), CXLC()}
 }
+
+// CXLExpander returns a hypothetical second-generation ASIC expander for the
+// multi-expander platform profiles: a CXL-A-class hard-IP controller with a
+// shorter pipeline (the paper attributes CXL-A's 50 ns to early silicon) in
+// front of one DDR5-4800 channel, and mix efficiencies a few points above
+// CXL-A across the board — the trajectory Table 1's ASIC vendors advertise.
+func CXLExpander(name string) *Device {
+	return &Device{
+		Name:     name,
+		Tech:     DDR54800,
+		Channels: 1,
+		Ctrl: Controller{
+			Kind:        HardIP,
+			PortLatency: 40 * sim.Nanosecond,
+			MixEff:      [numMixPoints]float64{0.55, 0.64, 0.66, 0.62},
+			InstrEff:    [numInstrTypes]float64{0.55, 0.55, 0.34, 0.63},
+		},
+		CapacityBytes: 96 * gib,
+	}
+}
+
+// CXLFPGADegraded returns a soft-IP device below even CXL-C: the same
+// FPGA protocol pipeline with a slower clock (the "degraded FPGA" profile),
+// stretching the port latency and shaving the delivered efficiency. It
+// bounds the low end of the device-diversity axis the paper's O2 opens.
+func CXLFPGADegraded(name string) *Device {
+	return &Device{
+		Name:     name,
+		Tech:     DDR43200,
+		Channels: 1,
+		Ctrl: Controller{
+			Kind:        SoftIP,
+			PortLatency: 320 * sim.Nanosecond,
+			MixEff:      [numMixPoints]float64{0.14, 0.16, 0.17, 0.18},
+			InstrEff:    [numInstrTypes]float64{0.15, 0.15, 0.12, 0.33},
+		},
+		CapacityBytes: 64 * gib,
+	}
+}

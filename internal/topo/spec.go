@@ -1,0 +1,265 @@
+// The declarative platform layer (DESIGN.md §9).
+//
+// A Spec describes a machine as data — socket count, SNC mode, local DDR
+// channels, and a list of far-memory devices each carrying its own
+// controller, link and DRAM parameters — and a Builder validates the spec
+// and assembles the System the rest of the simulator runs on. The paper's
+// Table-1 machine is just the default registered profile (Table1Spec);
+// every other platform is the same few lines of data with different
+// numbers, so "many machines × many workloads" needs no new constructor
+// code.
+package topo
+
+import (
+	"fmt"
+
+	"cxlmem/internal/cache"
+	"cxlmem/internal/coherence"
+	"cxlmem/internal/link"
+	"cxlmem/internal/mem"
+)
+
+// DeviceSpec describes one far-memory device of a platform: the DRAM behind
+// it, the controller in front of it, and the link it is reached over.
+type DeviceSpec struct {
+	// Name identifies the device in specs and diagnostics ("CXL-A", ...).
+	// Names must be unique within a platform and may not reuse the local
+	// DDR pool's reserved name ("DDR5-L").
+	Name string
+	// Tech is the DRAM technology behind the controller.
+	Tech mem.DRAMTech
+	// Channels is the number of populated DRAM channels.
+	Channels int
+	// Ctrl is the controller profile (kind, port latency, Fig.-4-style
+	// efficiency tables).
+	Ctrl mem.Controller
+	// CapacityBytes is the usable capacity.
+	CapacityBytes int64
+	// Link is the device-side interconnect: the CXL/PCIe link for a true
+	// CXL device, or the inter-socket link (UPI) for an emulated device.
+	Link link.Link
+	// Emulated marks a remote-NUMA emulation of CXL memory: the device is
+	// the other socket's DRAM, reached over the inter-socket link with
+	// remote-directory coherence (mesh→Link→mesh). False means a true CXL
+	// device (mesh→Link) resolved by the on-chip CXL home structure.
+	Emulated bool
+}
+
+// device materializes the spec's mem.Device.
+func (d DeviceSpec) device() *mem.Device {
+	return &mem.Device{
+		Name:          d.Name,
+		Tech:          d.Tech,
+		Channels:      d.Channels,
+		Ctrl:          d.Ctrl,
+		CapacityBytes: d.CapacityBytes,
+	}
+}
+
+// Spec declaratively describes a whole platform. The zero value is not
+// runnable — start from Table1Spec or a registered platform profile and
+// override fields.
+type Spec struct {
+	// Name identifies the platform ("table1", "x16-quad", ...).
+	Name string
+	// Desc is a one-line description for catalogs.
+	Desc string
+	// Sockets is the CPU socket count (1 or 2). Emulated devices need the
+	// second socket's DRAM, so they require Sockets == 2.
+	Sockets int
+	// Cores is the per-socket core count visible to the cache hierarchy;
+	// 0 uses the evaluated Xeon 6430's 32 cores.
+	Cores int
+	// SNCNodes is the sub-NUMA cluster count (1 = SNC off). Cores must
+	// divide evenly among nodes and the node index must fit the packed
+	// cache-line home field (cache.MaxHomeNode).
+	SNCNodes int
+	// LocalDDRChannels is the number of socket-local DDR5-4800 channels
+	// visible to the workload.
+	LocalDDRChannels int
+	// Devices lists the far-memory devices in presentation order.
+	Devices []DeviceSpec
+	// DefaultFarDevice names the device scenarios use when a spec names
+	// none; empty selects the first non-emulated device (falling back to
+	// the first device of any kind).
+	DefaultFarDevice string
+	// CXLBreaksSNCIsolation mirrors the measured LLC behaviour (O6);
+	// disable for the ablation.
+	CXLBreaksSNCIsolation bool
+	// CoherenceCongestion keeps the remote directory's burst penalty on
+	// emulated devices; disable for the O3 ablation.
+	CoherenceCongestion bool
+	// Seed drives any stochastic components layered on the system.
+	Seed uint64
+}
+
+// config derives the legacy Config view of the spec.
+func (sp Spec) config() Config {
+	return Config{
+		SNCNodes:              sp.SNCNodes,
+		LocalDDRChannels:      sp.LocalDDRChannels,
+		CXLBreaksSNCIsolation: sp.CXLBreaksSNCIsolation,
+		CoherenceCongestion:   sp.CoherenceCongestion,
+		Seed:                  sp.Seed,
+	}
+}
+
+// defaultFar resolves the spec's default far device name. Validate has
+// already established that Devices is non-empty and an explicit name exists.
+func (sp Spec) defaultFar() string {
+	if sp.DefaultFarDevice != "" {
+		return sp.DefaultFarDevice
+	}
+	for _, d := range sp.Devices {
+		if !d.Emulated {
+			return d.Name
+		}
+	}
+	return sp.Devices[0].Name
+}
+
+// Validate reports the first problem that would make the spec unbuildable,
+// with enough context to fix the offending field. It is the home of every
+// constraint the old hand-written constructor enforced by panicking (or, for
+// the packed home-node limit, by a panic deep inside cache.packWord on the
+// first routed access).
+func (sp Spec) Validate() error {
+	if sp.Sockets != 1 && sp.Sockets != 2 {
+		return fmt.Errorf("topo: platform %q: %d sockets (want 1 or 2)", sp.Name, sp.Sockets)
+	}
+	cores := sp.Cores
+	if cores == 0 {
+		cores = cache.SPRHierConfig(1).Cores
+	}
+	if cores <= 0 {
+		return fmt.Errorf("topo: platform %q: %d cores", sp.Name, sp.Cores)
+	}
+	if sp.SNCNodes <= 0 || cores%sp.SNCNodes != 0 {
+		return fmt.Errorf("topo: platform %q: %d cores do not divide into %d SNC nodes",
+			sp.Name, cores, sp.SNCNodes)
+	}
+	if sp.SNCNodes-1 > cache.MaxHomeNode {
+		return fmt.Errorf("topo: platform %q: %d SNC nodes exceed the packed cache-line home limit (max node %d)",
+			sp.Name, sp.SNCNodes, cache.MaxHomeNode)
+	}
+	if sp.LocalDDRChannels <= 0 {
+		return fmt.Errorf("topo: platform %q: non-positive local DDR channel count %d",
+			sp.Name, sp.LocalDDRChannels)
+	}
+	if len(sp.Devices) == 0 {
+		return fmt.Errorf("topo: platform %q: no far-memory devices", sp.Name)
+	}
+	seen := make(map[string]bool, len(sp.Devices))
+	for i, d := range sp.Devices {
+		if d.Name == "" {
+			return fmt.Errorf("topo: platform %q: device %d has no name", sp.Name, i)
+		}
+		if d.Name == "DDR5-L" {
+			return fmt.Errorf("topo: platform %q: device name %q is reserved for the local DDR pool",
+				sp.Name, d.Name)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("topo: platform %q: duplicate device name %q", sp.Name, d.Name)
+		}
+		seen[d.Name] = true
+		if d.Emulated && sp.Sockets < 2 {
+			return fmt.Errorf("topo: platform %q: emulated device %q needs a second socket",
+				sp.Name, d.Name)
+		}
+		if err := d.device().Validate(); err != nil {
+			return fmt.Errorf("topo: platform %q: device %q: %w", sp.Name, d.Name, err)
+		}
+		l := d.Link
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("topo: platform %q: device %q: %w", sp.Name, d.Name, err)
+		}
+	}
+	if sp.DefaultFarDevice != "" && !seen[sp.DefaultFarDevice] {
+		return fmt.Errorf("topo: platform %q: default far device %q is not in the device list",
+			sp.Name, sp.DefaultFarDevice)
+	}
+	return nil
+}
+
+// Builder assembles a System from a Spec. The zero Builder is not useful —
+// construct one with NewBuilder so the spec travels with it.
+type Builder struct {
+	spec Spec
+}
+
+// NewBuilder returns a builder for the spec.
+func NewBuilder(spec Spec) *Builder { return &Builder{spec: spec} }
+
+// Build validates the spec and assembles the system. Every constraint is
+// checked up front, so a returned System routes every access without
+// tripping the packed-word limits deeper in the cache engine.
+func (b *Builder) Build() (*System, error) {
+	sp := b.spec
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	hcfg := cache.SPRHierConfig(sp.SNCNodes)
+	if sp.Cores != 0 {
+		hcfg.Cores = sp.Cores
+	}
+	hcfg.CXLBreaksIsolation = sp.CXLBreaksSNCIsolation
+
+	s := &System{
+		cfg:        sp.config(),
+		spec:       sp,
+		defaultFar: sp.defaultFar(),
+		Hier:       cache.NewHierarchy(hcfg),
+		DDRLocal: &Path{
+			Name:   "DDR5-L",
+			Device: mem.DDR5Local(sp.LocalDDRChannels),
+			Links:  []*link.Link{link.Mesh()},
+			Coh:    coherence.LocalCHA(),
+		},
+		CXL: make(map[string]*Path),
+	}
+	s.paths = append(s.paths, s.DDRLocal)
+	for _, d := range sp.Devices {
+		l := d.Link
+		var p *Path
+		if d.Emulated {
+			coh := coherence.RemoteDirectory()
+			if !sp.CoherenceCongestion {
+				coh.BurstPenalty = coherence.CXLHomeStructure().BurstPenalty
+			}
+			p = &Path{
+				Name:         d.Name,
+				Device:       d.device(),
+				Links:        []*link.Link{link.Mesh(), &l, link.Mesh()},
+				Coh:          coh,
+				IsRemoteNUMA: true,
+			}
+			if s.DDRRemote == nil {
+				s.DDRRemote = p
+			}
+		} else {
+			p = &Path{
+				Name:   d.Name,
+				Device: d.device(),
+				Links:  []*link.Link{link.Mesh(), &l},
+				Coh:    coherence.CXLHomeStructure(),
+				IsCXL:  true,
+			}
+			s.CXL[d.Name] = p
+		}
+		s.paths = append(s.paths, p)
+	}
+	return s, nil
+}
+
+// Build is the one-shot form of NewBuilder(spec).Build().
+func Build(spec Spec) (*System, error) { return NewBuilder(spec).Build() }
+
+// MustBuild builds the spec and panics on validation errors — for
+// code-defined specs whose invalidity is a programming error.
+func MustBuild(spec Spec) *System {
+	s, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -209,93 +209,69 @@ func MicrobenchConfig() Config {
 	}
 }
 
-// System is the assembled machine.
+// System is the assembled machine. Systems are produced by the Builder from
+// a declarative Spec (spec.go); NewSystem remains as the legacy constructor
+// for the paper's Table-1 machine under a Config.
 type System struct {
-	cfg Config
+	cfg        Config
+	spec       Spec
+	defaultFar string
+	// paths holds every device path in the spec's presentation order,
+	// DDR5-L first.
+	paths []*Path
 	// Hier is the cache hierarchy shared by all cores.
 	Hier *cache.Hierarchy
 	// DDRLocal is the socket-local DDR5 path (the baseline device).
 	DDRLocal *Path
-	// DDRRemote is the emulated-CXL path (remote NUMA over UPI).
+	// DDRRemote is the emulated-CXL path (remote NUMA over UPI); nil on
+	// platforms without an emulated device.
 	DDRRemote *Path
-	// CXL holds the three true CXL device paths by name.
+	// CXL holds the true CXL device paths by name.
 	CXL map[string]*Path
 }
 
-// NewSystem builds the system for the configuration.
+// NewSystem builds the paper's Table-1 system for the configuration. It is
+// Build(Table1Spec overridden by cfg) with the historical panic-on-bad-config
+// contract — experiment drivers pass literal configs.
 func NewSystem(cfg Config) *System {
-	if cfg.SNCNodes != 1 && cfg.SNCNodes != 4 {
-		panic(fmt.Sprintf("topo: unsupported SNC node count %d", cfg.SNCNodes))
-	}
-	if cfg.LocalDDRChannels <= 0 {
-		panic("topo: non-positive local DDR channel count")
-	}
-	hcfg := cache.SPRHierConfig(cfg.SNCNodes)
-	hcfg.CXLBreaksIsolation = cfg.CXLBreaksSNCIsolation
-
-	remoteCoh := coherence.RemoteDirectory()
-	if !cfg.CoherenceCongestion {
-		remoteCoh.BurstPenalty = coherence.CXLHomeStructure().BurstPenalty
-	}
-
-	s := &System{
-		cfg:  cfg,
-		Hier: cache.NewHierarchy(hcfg),
-		DDRLocal: &Path{
-			Name:   "DDR5-L",
-			Device: mem.DDR5Local(cfg.LocalDDRChannels),
-			Links:  []*link.Link{link.Mesh()},
-			Coh:    coherence.LocalCHA(),
-		},
-		DDRRemote: &Path{
-			Name:         "DDR5-R",
-			Device:       mem.DDR5Remote(),
-			Links:        []*link.Link{link.Mesh(), link.UPI(), link.Mesh()},
-			Coh:          remoteCoh,
-			IsRemoteNUMA: true,
-		},
-		CXL: make(map[string]*Path),
-	}
-	for _, d := range mem.AllCXLDevices() {
-		s.CXL[d.Name] = &Path{
-			Name:   d.Name,
-			Device: d,
-			Links:  []*link.Link{link.Mesh(), link.CXLx8()},
-			Coh:    coherence.CXLHomeStructure(),
-			IsCXL:  true,
-		}
-	}
-	return s
+	sp := Table1Spec()
+	sp.SNCNodes = cfg.SNCNodes
+	sp.LocalDDRChannels = cfg.LocalDDRChannels
+	sp.CXLBreaksSNCIsolation = cfg.CXLBreaksSNCIsolation
+	sp.CoherenceCongestion = cfg.CoherenceCongestion
+	sp.Seed = cfg.Seed
+	return MustBuild(sp)
 }
 
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// Spec returns the declarative spec the system was built from.
+func (s *System) Spec() Spec { return s.spec }
+
+// DefaultFarDevice returns the name of the far-memory device scenarios use
+// when they do not name one — "CXL-A" on the Table-1 platform.
+func (s *System) DefaultFarDevice() string { return s.defaultFar }
+
 // Path returns the path with the given device name or panics — experiment
 // code passes literal names.
 func (s *System) Path(name string) *Path {
-	switch name {
-	case "DDR5-L":
-		return s.DDRLocal
-	case "DDR5-R":
-		return s.DDRRemote
-	}
-	if p, ok := s.CXL[name]; ok {
-		return p
+	for _, p := range s.paths {
+		if p.Name == name {
+			return p
+		}
 	}
 	panic(fmt.Sprintf("topo: unknown device %q", name))
 }
 
-// Paths returns all device paths in Table-1 presentation order.
-func (s *System) Paths() []*Path {
-	return []*Path{s.DDRLocal, s.DDRRemote, s.CXL["CXL-A"], s.CXL["CXL-B"], s.CXL["CXL-C"]}
-}
+// Paths returns all device paths in the platform's presentation order
+// (Table-1 order on the default platform), DDR5-L first.
+func (s *System) Paths() []*Path { return s.paths }
 
-// ComparisonPaths returns the four devices Figure 3/4 compare (everything
-// except the DDR5-L baseline).
-func (s *System) ComparisonPaths() []*Path {
-	return []*Path{s.DDRRemote, s.CXL["CXL-A"], s.CXL["CXL-B"], s.CXL["CXL-C"]}
-}
+// ComparisonPaths returns every far-memory device path — on the Table-1
+// platform, the four devices Figure 3/4 compare (everything except the
+// DDR5-L baseline).
+func (s *System) ComparisonPaths() []*Path { return s.paths[1:] }
 
 // HomeFor classifies a device path for LLC slice routing: local DDR stays in
 // the accessor's node; remote NUMA and CXL memory break isolation (O6).

@@ -4,11 +4,12 @@
 //	ycsb:readmostly/policy=weighted:85,15/size=4G
 //	dlrm/policy=cxl:63/threads=32
 //	fio:64k/policy=cxl
+//	fluid/platform=x16-quad
 //
 // Grammar: workload[:variant][/key=value]... with keys policy, size, qps,
-// threads, ops, seed, device. ParseScenario and Scenario.String round-trip,
-// and String is the canonical form used as the memoization key for matrix
-// cells.
+// threads, ops, seed, device, platform. ParseScenario and Scenario.String
+// round-trip, and String is the canonical form used as the memoization key
+// for matrix cells.
 package workloads
 
 import (
@@ -16,6 +17,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"cxlmem/internal/topo"
 )
 
 // parseFinite parses a float and rejects NaN/Inf: strconv accepts them, but
@@ -103,6 +106,9 @@ type Scenario struct {
 	Seed uint64
 	// Device overrides Config.Device when non-empty.
 	Device string
+	// Platform selects the registered platform profile the cell runs on;
+	// empty keeps the environment's platform (the Table-1 default).
+	Platform string
 }
 
 // ParseScenario parses a spec string and checks the workload exists in the
@@ -156,8 +162,13 @@ func ParseScenario(spec string) (Scenario, error) {
 			sc.Seed, err = strconv.ParseUint(val, 10, 64)
 		case "device":
 			sc.Device = val
+		case "platform":
+			sc.Platform = strings.ToLower(val)
+			if _, perr := topo.PlatformByName(sc.Platform); perr != nil {
+				err = perr
+			}
 		default:
-			err = fmt.Errorf("workloads: unknown spec key %q (want policy, size, qps, threads, ops, seed or device)", key)
+			err = fmt.Errorf("workloads: unknown spec key %q (want policy, size, qps, threads, ops, seed, device or platform)", key)
 		}
 		if err != nil {
 			return Scenario{}, err
@@ -167,8 +178,8 @@ func ParseScenario(spec string) (Scenario, error) {
 }
 
 // String renders the canonical spec: the head, then the overridden keys in
-// the fixed order policy, size, qps, threads, ops, seed, device. It
-// round-trips through ParseScenario and serves as the memoization key.
+// the fixed order policy, size, qps, threads, ops, seed, device, platform.
+// It round-trips through ParseScenario and serves as the memoization key.
 func (s Scenario) String() string {
 	var b strings.Builder
 	b.WriteString(s.Workload)
@@ -199,6 +210,10 @@ func (s Scenario) String() string {
 	if s.Device != "" {
 		b.WriteString("/device=")
 		b.WriteString(s.Device)
+	}
+	if s.Platform != "" {
+		b.WriteString("/platform=")
+		b.WriteString(s.Platform)
 	}
 	return b.String()
 }
@@ -232,13 +247,27 @@ func (s Scenario) Apply(cfg Config) Config {
 	return cfg
 }
 
-// Run resolves the scenario's workload, applies its overrides, and runs it.
+// Run resolves the scenario's workload and platform, applies its overrides,
+// and runs it. A platform= key rebuilds the environment's system from the
+// named profile; when the scenario names no device, the platform's default
+// far device backs the run ("CXL-A" on the Table-1 default), so every
+// workload's calibrated config is runnable on every platform.
 func (s Scenario) Run(env *Env) (Metrics, error) {
 	w, err := Get(s.Workload)
 	if err != nil {
 		return Metrics{}, err
 	}
-	return w.Run(env, s.Apply(w.DefaultConfig()))
+	env, err = env.ForPlatform(s.Platform)
+	if err != nil {
+		return Metrics{}, err
+	}
+	cfg := s.Apply(w.DefaultConfig())
+	if s.Device == "" {
+		if d := env.Sys.DefaultFarDevice(); d != "" {
+			cfg.Device = d
+		}
+	}
+	return w.Run(env, cfg)
 }
 
 // ParseBytes parses a size literal: plain bytes or a K/M/G/T binary suffix

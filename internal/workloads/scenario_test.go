@@ -38,6 +38,9 @@ func TestParseScenarioValid(t *testing.T) {
 		},
 		{"KVSTORE:UNIFORM/policy=DDR", // case-insensitive head and policy
 			Scenario{Workload: "kvstore", Variant: "uniform", Policy: Policy{Spec: "ddr", Set: true}}},
+		{"fluid/platform=x16-quad", Scenario{Workload: "fluid", Platform: "x16-quad"}},
+		{"dlrm/platform=TABLE1", // platform names normalize to lowercase
+			Scenario{Workload: "dlrm", Platform: "table1"}},
 	}
 	for _, c := range cases {
 		got, err := ParseScenario(c.in)
@@ -75,6 +78,7 @@ func TestParseScenarioInvalid(t *testing.T) {
 		"ycsb/seed=abc",              // non-numeric seed
 		"ycsb/flavor=mild",           // unknown key
 		"/policy=ddr",                // no workload
+		"ycsb/platform=atari2600",    // unregistered platform
 	}
 	for _, in := range cases {
 		if _, err := ParseScenario(in); err == nil {
@@ -93,6 +97,7 @@ func TestScenarioStringRoundTrip(t *testing.T) {
 		{"fio:4k/size=4096", "fio:4k/size=4K"},                             // size canonicalizes to suffix form
 		{"kvstore/qps=45000/ops=1000/seed=3/device=CXL-C", "kvstore/qps=45000/ops=1000/seed=3/device=CXL-C"},
 		{"spec:mix/policy=interleave", "spec:mix/policy=interleave"},
+		{"kvstore/platform=snc-off/policy=cxl", "kvstore/policy=cxl/platform=snc-off"}, // platform renders last
 	}
 	for _, c := range cases {
 		sc, err := ParseScenario(c.in)
@@ -144,5 +149,69 @@ func TestScenarioApply(t *testing.T) {
 	}
 	if got.TargetQPS != 1000 || got.Threads != 8 || got.Ops != 500 || got.Device != "CXL-A" {
 		t.Errorf("defaults clobbered: %+v", got)
+	}
+}
+
+// TestScenarioRunOnPlatform exercises the platform= path end to end: a cell
+// without a device= key runs against the platform's default far device, an
+// explicit device from another platform fails cleanly, and an explicit
+// device belonging to the platform is honored.
+func TestScenarioRunOnPlatform(t *testing.T) {
+	env := NewEnv()
+	env.Quick = true
+	run := func(spec string) (Metrics, error) {
+		sc, err := ParseScenario(spec)
+		if err != nil {
+			t.Fatalf("ParseScenario(%q): %v", spec, err)
+		}
+		return sc.Run(env)
+	}
+	m, err := run("kvstore/platform=x16-quad")
+	if err != nil {
+		t.Fatalf("default-device run on x16-quad: %v", err)
+	}
+	if len(m.Items) == 0 {
+		t.Fatal("no metrics")
+	}
+	if _, err := run("kvstore/platform=x16-quad/device=CXL-A"); err == nil {
+		t.Error("CXL-A does not exist on x16-quad; expected an error")
+	}
+	if _, err := run("kvstore/platform=x16-quad/device=CXL-X3"); err != nil {
+		t.Errorf("explicit x16-quad device: %v", err)
+	}
+	if env.Platform != "table1" || env.Sys.DefaultFarDevice() != "CXL-A" {
+		t.Error("platform runs must not mutate the caller's environment")
+	}
+}
+
+// TestEnvForPlatform pins the copy-vs-identity contract and that run options
+// travel to the platform copy.
+func TestEnvForPlatform(t *testing.T) {
+	env := NewEnv()
+	env.Quick = true
+	env.Seed = 7
+	same, err := env.ForPlatform("")
+	if err != nil || same != env {
+		t.Errorf("empty platform should return the same env, got %v, %v", same, err)
+	}
+	same, err = env.ForPlatform(env.Platform)
+	if err != nil || same != env {
+		t.Errorf("identical platform should return the same env, got %v, %v", same, err)
+	}
+	other, err := env.ForPlatform("fpga-degraded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == env || other.Sys == env.Sys {
+		t.Error("different platform should build a fresh system")
+	}
+	if !other.Quick || other.Seed != 7 || other.Platform != "fpga-degraded" {
+		t.Errorf("run options lost in the copy: %+v", other)
+	}
+	if other.Sys.DefaultFarDevice() != "CXL-F" {
+		t.Errorf("fpga-degraded default far device = %q", other.Sys.DefaultFarDevice())
+	}
+	if _, err := env.ForPlatform("nope"); err == nil {
+		t.Error("unknown platform should error")
 	}
 }

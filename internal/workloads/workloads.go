@@ -27,8 +27,11 @@ import (
 // simulated system plus the cross-cutting run options the experiment layer
 // already understands.
 type Env struct {
-	// Sys is the simulated dual-socket system the workload runs on.
+	// Sys is the simulated system the workload runs on.
 	Sys *topo.System
+	// Platform is the registered platform profile Sys was built from
+	// (topo.DefaultPlatform for the paper's Table-1 machine).
+	Platform string
 	// Quick reduces sample counts the same way experiments.Options.Quick
 	// does; adapters scale their operation counts through ScaleOps.
 	Quick bool
@@ -42,9 +45,40 @@ type Env struct {
 	Seed uint64
 }
 
-// NewEnv builds an environment over the paper's §5 application setup.
+// NewEnv builds an environment over the paper's §5 application setup — the
+// default platform profile.
 func NewEnv() *Env {
-	return &Env{Sys: topo.NewSystem(topo.DefaultConfig())}
+	return &Env{Sys: topo.NewSystem(topo.DefaultConfig()), Platform: topo.DefaultPlatform}
+}
+
+// NewEnvOn builds an environment over the named platform profile; an empty
+// name selects the default platform.
+func NewEnvOn(platform string) (*Env, error) {
+	if platform == "" || platform == topo.DefaultPlatform {
+		return NewEnv(), nil
+	}
+	sys, err := topo.BuildPlatform(platform)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Sys: sys, Platform: platform}, nil
+}
+
+// ForPlatform returns an environment on the named platform carrying e's run
+// options: e itself when the name is empty or already e's platform,
+// otherwise a copy whose system is built fresh from the profile.
+func (e *Env) ForPlatform(platform string) (*Env, error) {
+	if platform == "" || platform == e.Platform {
+		return e, nil
+	}
+	sys, err := topo.BuildPlatform(platform)
+	if err != nil {
+		return nil, err
+	}
+	ne := *e
+	ne.Sys = sys
+	ne.Platform = platform
+	return &ne, nil
 }
 
 // ScaleOps reduces an operation count in quick mode, mirroring
