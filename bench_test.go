@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"cxlmem/internal/experiments"
+	"cxlmem/internal/results"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -23,7 +24,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	opts := experiments.DefaultOptions()
 	opts.Quick = true
-	var tbl *experiments.Table
+	var tbl *results.Dataset
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tbl = e.Run(opts)

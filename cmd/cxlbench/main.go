@@ -27,6 +27,14 @@
 //	cxlbench -platform x16-quad -scenario 'dlrm/policy=interleave'
 //	cxlbench -scenario 'kvstore/platform=fpga-degraded'
 //
+// Every result is a typed dataset rendered by a pluggable emitter; -format
+// selects the rendering for -run and -scenario alike (see also the cxlserve
+// daemon, which serves the same datasets over HTTP):
+//
+//	cxlbench -run fig5 -format json   # machine-readable, full precision
+//	cxlbench -run matrix-apps -format csv
+//	cxlbench -scenario 'dlrm/policy=cxl:63' -format json
+//
 // A single experiment fans its independent operating points across
 // -parallel workers (default: all CPUs). -run all spends the same budget one
 // level up: whole experiments run concurrently on -parallel workers, each
@@ -56,6 +64,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all CPUs)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
 	fastwarm := flag.Bool("fastwarm", false, "convergence-based cache warmup (faster; last-digit shifts on fig5/ablation-llc)")
+	format := flag.String("format", "", "output format for -run/-scenario: text (default), json, csv")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
@@ -87,12 +96,12 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
 		}
 	case *run == "all":
-		if err := runAll(cfg); err != nil {
+		if err := runAll(cfg, *format); err != nil {
 			pprof.StopCPUProfile()
 			fail(err)
 		}
 	case *run != "":
-		out, err := cxlmem.RunExperimentCfg(*run, cfg)
+		out, err := cxlmem.RunExperimentIn(*run, cfg, *format)
 		if err != nil {
 			pprof.StopCPUProfile()
 			fail(err)
@@ -105,14 +114,14 @@ func main() {
 		fmt.Println("\ncatalog (EXPERIMENTS.md form):")
 		fmt.Print(cxlmem.ScenarioCatalog())
 	case *scenario == "all":
-		out, err := cxlmem.RunScenarioMatrix(cfg)
+		out, err := cxlmem.RunScenarioMatrixIn(cfg, *format)
 		if err != nil {
 			pprof.StopCPUProfile()
 			fail(err)
 		}
 		fmt.Print(out)
 	case *scenario != "":
-		out, err := cxlmem.RunScenario(*scenario, cfg)
+		out, err := cxlmem.RunScenarioIn(*scenario, cfg, *format)
 		if err != nil {
 			pprof.StopCPUProfile()
 			fail(err)
@@ -125,10 +134,10 @@ func main() {
 }
 
 // runAll regenerates every experiment through a bounded worker pool and
-// prints the tables in registry order as they complete. The -parallel
+// prints the renderings in registry order as they complete. The -parallel
 // budget moves to the experiment level: each experiment sweeps serially so
 // the two pools cannot multiply.
-func runAll(cfg cxlmem.RunConfig) error {
+func runAll(cfg cxlmem.RunConfig, format string) error {
 	infos := cxlmem.Experiments()
 	type result struct {
 		out  string
@@ -160,7 +169,7 @@ func runAll(cfg cxlmem.RunConfig) error {
 				if i >= len(infos) {
 					return
 				}
-				results[i].out, results[i].err = cxlmem.RunExperimentCfg(infos[i].ID, cfg)
+				results[i].out, results[i].err = cxlmem.RunExperimentIn(infos[i].ID, cfg, format)
 				close(results[i].done)
 			}
 		}()

@@ -1,0 +1,63 @@
+// Command cxlserve is the structured-results query daemon: it serves every
+// registered experiment and any scenario spec over HTTP, rendered by the
+// pluggable emitters (json by default, text and csv on request). Results are
+// memoized process-wide with single-flight semantics, so concurrent clients
+// asking for the same table share one evaluation and repeats are served from
+// the cache.
+//
+// Usage:
+//
+//	cxlserve                          # listen on :8080, full fidelity
+//	cxlserve -addr :9000 -quick       # reduced sample counts (staging/CI)
+//	cxlserve -parallel 4              # bound each run's sweep worker pool
+//
+// Endpoints:
+//
+//	GET /v1/experiments                         registry + formats + platforms
+//	GET /v1/run?id=fig5&format=json             one experiment
+//	GET /v1/run?id=matrix-apps&format=csv       matrices too
+//	GET /v1/scenario?spec=dlrm/policy=cxl:63    one scenario cell
+//
+// Requests may override platform=, quick=, fastwarm= and seed=; the sweep
+// worker count stays a server flag so clients cannot oversubscribe the host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"cxlmem/internal/experiments"
+	"cxlmem/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	quick := flag.Bool("quick", false, "default to reduced sample counts (requests may override with quick=)")
+	parallel := flag.Int("parallel", 0, "sweep worker count per run (0 = all CPUs)")
+	seed := flag.Uint64("seed", 0, "default experiment seed (0 = calibrated default)")
+	fastwarm := flag.Bool("fastwarm", false, "default to convergence-based cache warmup")
+	platform := flag.String("platform", "", "default platform profile for scenario cells")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Quick = *quick
+	opts.Parallel = *parallel
+	opts.FastWarmup = *fastwarm
+	opts.Platform = *platform
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "cxlserve:", err)
+		os.Exit(1)
+	}
+
+	log.Printf("cxlserve: listening on %s (quick=%t parallel=%d)", *addr, *quick, *parallel)
+	if err := http.ListenAndServe(*addr, serve.Handler(opts)); err != nil {
+		fmt.Fprintln(os.Stderr, "cxlserve:", err)
+		os.Exit(1)
+	}
+}

@@ -23,10 +23,30 @@ import (
 	"cxlmem/internal/core"
 	"cxlmem/internal/experiments"
 	"cxlmem/internal/numa"
+	"cxlmem/internal/results"
 	"cxlmem/internal/telemetry"
 	"cxlmem/internal/topo"
 	"cxlmem/internal/workloads"
 )
+
+// Dataset is the typed, structured result of an experiment or scenario run:
+// unit-carrying columns over numeric/string cells plus notes and provenance
+// (see internal/results and DESIGN.md §10). Render it with Emit, or call its
+// Render method for the default text form.
+type Dataset = results.Dataset
+
+// Formats lists the registered result emitters, default first ("text",
+// "json", "csv") — the values accepted by Emit, cxlbench -format and the
+// cxlserve format= query parameter.
+func Formats() []string { return results.Formats() }
+
+// Emit renders a dataset in the named format; the empty format selects text.
+func Emit(d *Dataset, format string) (string, error) { return results.Emit(d, format) }
+
+// ParseDatasetJSON decodes a dataset from its JSON wire form — the inverse
+// of Emit(d, "json"), for consumers reading cxlserve responses or exported
+// files back into typed form.
+func ParseDatasetJSON(data []byte) (*Dataset, error) { return results.ParseJSON(data) }
 
 // System is the simulated dual-socket SPR server with its memory devices.
 type System = topo.System
@@ -143,19 +163,28 @@ func (cfg RunConfig) options() experiments.Options {
 	return opts
 }
 
-// RunExperimentCfg regenerates one experiment under the given configuration.
+// RunExperimentCfg regenerates one experiment under the given configuration
+// and returns its text rendering (byte-identical to the historical tables).
 func RunExperimentCfg(id string, cfg RunConfig) (string, error) {
-	e, err := experiments.Get(id)
+	return RunExperimentIn(id, cfg, "")
+}
+
+// RunExperimentIn regenerates one experiment and renders it in the named
+// format ("text", "json", "csv"; empty means text).
+func RunExperimentIn(id string, cfg RunConfig, format string) (string, error) {
+	d, err := RunDataset(id, cfg)
 	if err != nil {
 		return "", err
 	}
-	opts := cfg.options()
-	// Registered drivers treat cell failures as programming errors (panic),
-	// so reject bad user-supplied options before dispatching.
-	if err := opts.Validate(); err != nil {
-		return "", err
-	}
-	return e.Run(opts).Render(), nil
+	return results.Emit(d, format)
+}
+
+// RunDataset regenerates one experiment as a typed dataset, memoized
+// process-wide: repeated calls for the same (id, options) — including
+// re-emitting one run in several formats — evaluate the experiment once.
+// The returned dataset is shared; treat it as immutable.
+func RunDataset(id string, cfg RunConfig) (*Dataset, error) {
+	return experiments.RunDataset(id, cfg.options())
 }
 
 // ScenarioInfo describes one registered workload of the scenario engine.
@@ -182,31 +211,55 @@ func ScenarioWorkloads() []ScenarioInfo {
 func ScenarioCatalog() string { return workloads.Catalog() }
 
 // RunScenario evaluates one scenario spec (see internal/workloads: e.g.
-// "ycsb:readmostly/policy=weighted:85,15/size=4G") and returns its rendered
-// one-row table. Results are memoized per process, so re-evaluating a cell
-// is free.
+// "ycsb:readmostly/policy=weighted:85,15/size=4G") and returns its text
+// rendering — one row per metric. Results are memoized per process, so
+// re-evaluating a cell is free.
 func RunScenario(spec string, cfg RunConfig) (string, error) {
+	return RunScenarioIn(spec, cfg, "")
+}
+
+// RunScenarioIn evaluates one scenario spec and renders it in the named
+// format ("text", "json", "csv"; empty means text).
+func RunScenarioIn(spec string, cfg RunConfig, format string) (string, error) {
+	d, err := RunScenarioDataset(spec, cfg)
+	if err != nil {
+		return "", err
+	}
+	return results.Emit(d, format)
+}
+
+// RunScenarioDataset evaluates one scenario spec as a typed dataset: the
+// cell's full metric list, one row per metric, with the canonical spec in
+// the provenance. The cell value is memoized process-wide.
+func RunScenarioDataset(spec string, cfg RunConfig) (*Dataset, error) {
 	sc, err := workloads.ParseScenario(spec)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	t, err := experiments.ScenarioTable(cfg.options(), "scenario", "scenario evaluation", []workloads.Scenario{sc})
-	if err != nil {
-		return "", err
-	}
-	return t.Render(), nil
+	return experiments.ScenarioResult(cfg.options(), sc)
 }
 
 // RunScenarioMatrix evaluates the full scenario cross product — the union
-// of the matrix-apps, matrix-policy and matrix-size cells — through the
-// parallel sweep engine and returns one combined table.
+// of the matrix-apps, matrix-policy, matrix-size and matrix-platform cells —
+// through the parallel sweep engine and returns one combined text table.
 func RunScenarioMatrix(cfg RunConfig) (string, error) {
-	t, err := experiments.ScenarioTable(cfg.options(), "matrix-all",
-		"full scenario matrix: workload x policy x size", experiments.AllMatrixScenarios())
+	return RunScenarioMatrixIn(cfg, "")
+}
+
+// RunScenarioMatrixIn is RunScenarioMatrix rendered in the named format.
+func RunScenarioMatrixIn(cfg RunConfig, format string) (string, error) {
+	d, err := RunScenarioMatrixDataset(cfg)
 	if err != nil {
 		return "", err
 	}
-	return t.Render(), nil
+	return results.Emit(d, format)
+}
+
+// RunScenarioMatrixDataset evaluates the full scenario cross product as one
+// typed dataset, one row per cell.
+func RunScenarioMatrixDataset(cfg RunConfig) (*Dataset, error) {
+	return experiments.ScenarioDataset(cfg.options(), "matrix-all",
+		"full scenario matrix: workload x policy x size", experiments.AllMatrixScenarios())
 }
 
 // Policy is a two-node (DDR, CXL) weighted-interleave allocation policy —

@@ -1,0 +1,70 @@
+// Results export: the structured-results path end to end. Every experiment
+// and scenario run is a typed cxlmem.Dataset — numeric cells, unit-carrying
+// columns, provenance — and rendering is a pluggable emitter (text, json,
+// csv). This example regenerates one figure and one scenario cell through
+// the facade, writes the lossless JSON wire form to a file, reads it back
+// with ParseDatasetJSON, and prints the csv view — the same forms the
+// cxlserve daemon serves over HTTP.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"cxlmem"
+)
+
+func main() {
+	cfg := cxlmem.RunConfig{Quick: true}
+
+	// A figure as a typed dataset: cells are numbers, not strings.
+	fig, err := cxlmem.RunDataset("fig4a", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d columns x %d rows, provenance quick=%t\n",
+		fig.ID, len(fig.Columns), len(fig.Rows), fig.Prov.Quick)
+
+	// Emit the lossless JSON wire form to a file.
+	out, err := cxlmem.Emit(fig, "json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "cxlmem-results")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, fig.ID+".json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(out))
+
+	// The wire form round-trips: parse it back and re-render as text.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := cxlmem.ParseDatasetJSON(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nround-tripped text rendering:")
+	fmt.Print(back.Render())
+
+	// Scenario cells produce the same structured form — one row per metric,
+	// the canonical spec in the provenance — and any emitter applies.
+	cell, err := cxlmem.RunScenarioDataset("dlrm/policy=cxl:63/threads=32", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	csv, err := cxlmem.Emit(cell, "csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscenario %s as csv:\n%s", cell.Prov.Scenario, csv)
+	fmt.Printf("\navailable formats: %v\n", cxlmem.Formats())
+}

@@ -4,6 +4,7 @@ import (
 	"cxlmem/internal/core"
 	"cxlmem/internal/mem"
 	"cxlmem/internal/mlc"
+	"cxlmem/internal/results"
 	"cxlmem/internal/stats"
 	"cxlmem/internal/telemetry"
 	"cxlmem/internal/topo"
@@ -20,7 +21,7 @@ func init() {
 	register("ablation-estimator", "Caption with the full counter set vs IPC only", runAblationEstimator)
 }
 
-func runAblationLLC(o Options) *Table {
+func runAblationLLC(o Options) *results.Dataset {
 	samples := o.scale(200000)
 	// Cache-mutating measurements: a private System per sweep point.
 	lats := sweepPoints(o, 2, func(i int) float64 {
@@ -37,50 +38,44 @@ func runAblationLLC(o Options) *Table {
 	cfgOff := cfgOn
 	cfgOff.CXLBreaksSNCIsolation = false
 	sysOff := topo.NewSystem(cfgOff)
-	d := dlrm.DefaultConfig()
-	ddr := dlrm.Run(sysOn, d, "CXL-A", 0, 8, dlrm.SNCAlone).QueriesPerSec
-	cxlOn := dlrm.Run(sysOn, d, "CXL-A", 100, 8, dlrm.SNCAlone).QueriesPerSec
-	cxlOff := dlrm.Run(sysOff, d, "CXL-A", 100, 8, dlrm.SNCAlone).QueriesPerSec
+	dcfg := dlrm.DefaultConfig()
+	ddr := dlrm.Run(sysOn, dcfg, "CXL-A", 0, 8, dlrm.SNCAlone).QueriesPerSec
+	cxlOn := dlrm.Run(sysOn, dcfg, "CXL-A", 100, 8, dlrm.SNCAlone).QueriesPerSec
+	cxlOff := dlrm.Run(sysOff, dcfg, "CXL-A", 100, 8, dlrm.SNCAlone).QueriesPerSec
 
-	t := &Table{
-		ID:      "ablation-llc",
-		Title:   "O6 ablation: CXL victims confined to the accessor's SNC node",
-		Headers: []string{"Metric", "Isolation broken (hardware)", "Isolation kept (ablation)"},
-	}
-	t.AddRow("32MB buffer latency (ns)", f1(withBreak), f1(without))
-	t.AddRow("DLRM CXL100 vs DDR100", f2(cxlOn/ddr), f2(cxlOff/ddr))
-	t.AddNote("without the isolation break, CXL memory loses its LLC bonus: Table 3's 0.947 parity disappears")
-	return t
+	d := newDataset(o, "ablation-llc", "O6 ablation: CXL victims confined to the accessor's SNC node",
+		col("Metric", ""), col("Isolation broken (hardware)", ""), col("Isolation kept (ablation)", ""))
+	d.AddRow(results.Str("32MB buffer latency (ns)"), results.Num(withBreak, 1), results.Num(without, 1))
+	d.AddRow(results.Str("DLRM CXL100 vs DDR100"), results.Num(cxlOn/ddr, 2), results.Num(cxlOff/ddr, 2))
+	d.AddNote("without the isolation break, CXL memory loses its LLC bonus: Table 3's 0.947 parity disappears")
+	return d
 }
 
-func runAblationCoherence(o Options) *Table {
+func runAblationCoherence(o Options) *results.Dataset {
 	withCong := topo.NewSystem(topo.MicrobenchConfig())
 	cfg := topo.MicrobenchConfig()
 	cfg.CoherenceCongestion = false
 	without := topo.NewSystem(cfg)
 
-	t := &Table{
-		ID:      "ablation-coherence",
-		Title:   "O3 ablation: remote-directory burst congestion on the UPI path",
-		Headers: []string{"Metric", "Congestion on (hardware)", "Congestion off (ablation)"},
-	}
+	d := newDataset(o, "ablation-coherence", "O3 ablation: remote-directory burst congestion on the UPI path",
+		col("Metric", ""), col("Congestion on (hardware)", ""), col("Congestion off (ablation)", ""))
 	rOn := withCong.Path("DDR5-R")
 	rOff := without.Path("DDR5-R")
 	aOn := withCong.Path("CXL-A")
-	t.AddRow("DDR5-R memo ld (ns)",
-		f1(rOn.ParallelLatency(mem.Load).Nanoseconds()),
-		f1(rOff.ParallelLatency(mem.Load).Nanoseconds()))
-	t.AddRow("parallel reduction vs MLC",
-		pct(1-rOn.ParallelLatency(mem.Load).Nanoseconds()/rOn.SerialLatency(mem.Load).Nanoseconds()),
-		pct(1-rOff.ParallelLatency(mem.Load).Nanoseconds()/rOff.SerialLatency(mem.Load).Nanoseconds()))
-	t.AddRow("CXL-A / DDR5-R memo ld",
-		f2(aOn.ParallelLatency(mem.Load).Nanoseconds()/rOn.ParallelLatency(mem.Load).Nanoseconds()),
-		f2(aOn.ParallelLatency(mem.Load).Nanoseconds()/rOff.ParallelLatency(mem.Load).Nanoseconds()))
-	t.AddNote("without congestion, emulated CXL amortizes as well as true CXL — the 76%% vs 79%% asymmetry (O3) vanishes")
-	return t
+	d.AddRow(results.Str("DDR5-R memo ld (ns)"),
+		results.Num(rOn.ParallelLatency(mem.Load).Nanoseconds(), 1),
+		results.Num(rOff.ParallelLatency(mem.Load).Nanoseconds(), 1))
+	d.AddRow(results.Str("parallel reduction vs MLC"),
+		results.Pct(1-rOn.ParallelLatency(mem.Load).Nanoseconds()/rOn.SerialLatency(mem.Load).Nanoseconds()),
+		results.Pct(1-rOff.ParallelLatency(mem.Load).Nanoseconds()/rOff.SerialLatency(mem.Load).Nanoseconds()))
+	d.AddRow(results.Str("CXL-A / DDR5-R memo ld"),
+		results.Num(aOn.ParallelLatency(mem.Load).Nanoseconds()/rOn.ParallelLatency(mem.Load).Nanoseconds(), 2),
+		results.Num(aOn.ParallelLatency(mem.Load).Nanoseconds()/rOff.ParallelLatency(mem.Load).Nanoseconds(), 2))
+	d.AddNote("without congestion, emulated CXL amortizes as well as true CXL — the 76%% vs 79%% asymmetry (O3) vanishes")
+	return d
 }
 
-func runAblationEstimator(o Options) *Table {
+func runAblationEstimator(o Options) *results.Dataset {
 	sys := topo.NewSystem(topo.DefaultConfig())
 	mix := []spec.Member{{Profile: spec.Roms, Instances: 8}, {Profile: spec.Mcf, Instances: 8}}
 	base := spec.Run(sys, mix, "CXL-A", 0).GIPS
@@ -139,13 +134,10 @@ func runAblationEstimator(o Options) *Table {
 	fullThr, fullPear := outcomes[0].thr, outcomes[0].pear
 	ipcThr, ipcPear := outcomes[1].thr, outcomes[1].pear
 
-	t := &Table{
-		ID:      "ablation-estimator",
-		Title:   "Caption estimator: full Table-4 counters vs IPC only (roms+mcf)",
-		Headers: []string{"Estimator", "Steady throughput (norm.)", "Pearson(model, throughput)"},
-	}
-	t.AddRow("L1 lat + DDR lat + IPC", f2(fullThr), f2(fullPear))
-	t.AddRow("IPC only", f2(ipcThr), f2(ipcPear))
-	t.AddNote("the latency counters capture queueing at the controllers; IPC alone is a weaker, noisier signal (§6.1)")
-	return t
+	d := newDataset(o, "ablation-estimator", "Caption estimator: full Table-4 counters vs IPC only (roms+mcf)",
+		col("Estimator", ""), col("Steady throughput (norm.)", "x DDR100"), col("Pearson(model, throughput)", ""))
+	d.AddRow(results.Str("L1 lat + DDR lat + IPC"), results.Num(fullThr, 2), results.Num(fullPear, 2))
+	d.AddRow(results.Str("IPC only"), results.Num(ipcThr, 2), results.Num(ipcPear, 2))
+	d.AddNote("the latency counters capture queueing at the controllers; IPC alone is a weaker, noisier signal (§6.1)")
+	return d
 }

@@ -1,9 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-
 	"cxlmem/internal/core"
+	"cxlmem/internal/results"
 	"cxlmem/internal/stats"
 	"cxlmem/internal/telemetry"
 	"cxlmem/internal/topo"
@@ -22,17 +21,14 @@ func init() {
 	register("fig13", "Caption vs static 100:0 and 50:50 across benchmarks (Fig. 13)", runFig13)
 }
 
-func runTable4(o Options) *Table {
-	t := &Table{
-		ID:      "table4",
-		Title:   "CPU counters pertinent to memory-subsystem performance",
-		Headers: []string{"Metric", "Tool", "Description"},
-	}
-	t.AddRow("L1 miss latency", "pcm-latency", "Average L1 miss latency (ns)")
-	t.AddRow("DDR read latency", "pcm-latency", "DDR read latency (ns)")
-	t.AddRow("IPC", "pcm", "Instructions per cycle")
-	t.AddNote("simulated equivalents are computed by the workload models (internal/telemetry)")
-	return t
+func runTable4(o Options) *results.Dataset {
+	d := newDataset(o, "table4", "CPU counters pertinent to memory-subsystem performance",
+		col("Metric", ""), col("Tool", ""), col("Description", ""))
+	d.AddRow(results.Str("L1 miss latency"), results.Str("pcm-latency"), results.Str("Average L1 miss latency (ns)"))
+	d.AddRow(results.Str("DDR read latency"), results.Str("pcm-latency"), results.Str("DDR read latency (ns)"))
+	d.AddRow(results.Str("IPC"), results.Str("pcm"), results.Str("Instructions per cycle"))
+	d.AddNote("simulated equivalents are computed by the workload models (internal/telemetry)")
+	return d
 }
 
 // dlrmOperatingPoints sweeps the allocation ratio and returns samples plus
@@ -66,39 +62,33 @@ func fitDLRMEstimator(o Options, sys *topo.System) *core.Estimator {
 	return est
 }
 
-func runFig11a(o Options) *Table {
+func runFig11a(o Options) *results.Dataset {
 	sys := topo.NewSystem(topo.DefaultConfig())
 	samples, thr := dlrmOperatingPoints(o, sys, 10)
-	t := &Table{
-		ID:      "fig11a",
-		Title:   "DLRM normalized throughput vs consumed system bandwidth",
-		Headers: []string{"CXL %", "System BW (GB/s)", "Norm. throughput"},
-	}
+	d := newDataset(o, "fig11a", "DLRM normalized throughput vs consumed system bandwidth",
+		col("CXL %", "%"), col("System BW (GB/s)", "GB/s"), col("Norm. throughput", "x DDR100"))
 	for i, s := range samples {
-		t.AddRow(f0(s.CXLPercent), f1(s.SystemBandwidthGBs), f2(thr[i]))
+		d.AddRow(results.Num(s.CXLPercent, 0), results.Num(s.SystemBandwidthGBs, 1), results.Num(thr[i], 2))
 	}
-	t.AddNote("paper: throughput rises with consumed bandwidth until queueing at the controllers reverses it")
-	return t
+	d.AddNote("paper: throughput rises with consumed bandwidth until queueing at the controllers reverses it")
+	return d
 }
 
-func runFig11b(o Options) *Table {
+func runFig11b(o Options) *results.Dataset {
 	sys := topo.NewSystem(topo.DefaultConfig())
 	samples, thr := dlrmOperatingPoints(o, sys, 10)
-	t := &Table{
-		ID:      "fig11b",
-		Title:   "DLRM normalized throughput vs L1 miss latency",
-		Headers: []string{"CXL %", "L1 miss latency (ns)", "Norm. throughput"},
-	}
+	d := newDataset(o, "fig11b", "DLRM normalized throughput vs L1 miss latency",
+		col("CXL %", "%"), col("L1 miss latency (ns)", "ns"), col("Norm. throughput", "x DDR100"))
 	var lats []float64
 	for i, s := range samples {
-		t.AddRow(f0(s.CXLPercent), f1(s.L1MissLatencyNS), f2(thr[i]))
+		d.AddRow(results.Num(s.CXLPercent, 0), results.Num(s.L1MissLatencyNS, 1), results.Num(thr[i], 2))
 		lats = append(lats, s.L1MissLatencyNS)
 	}
-	t.AddNote("Pearson(L1 miss latency, throughput) = %.2f (paper: strongly inverse)", stats.Pearson(lats, thr))
-	return t
+	d.AddNote("Pearson(L1 miss latency, throughput) = %.2f (paper: strongly inverse)", stats.Pearson(lats, thr))
+	return d
 }
 
-func runFig12a(o Options) *Table {
+func runFig12a(o Options) *results.Dataset {
 	sys := topo.NewSystem(topo.DefaultConfig())
 	est := fitDLRMEstimator(o, sys)
 	cfg := dlrm.DefaultConfig()
@@ -109,11 +99,9 @@ func runFig12a(o Options) *Table {
 	stair := []float64{9, 23, 33, 41, 47}
 	const perStep = 6
 	var thr, model []float64
-	t := &Table{
-		ID:      "fig12a",
-		Title:   "DLRM: measured throughput vs Caption model output over a ratio staircase",
-		Headers: []string{"Interval", "CXL %", "Norm. throughput", "Model output", "Pearson so far"},
-	}
+	d := newDataset(o, "fig12a", "DLRM: measured throughput vs Caption model output over a ratio staircase",
+		col("Interval", ""), col("CXL %", "%"), col("Norm. throughput", "x DDR100"),
+		col("Model output", ""), col("Pearson so far", ""))
 	// The staircase steps are independent operating points; only the
 	// smoothing sampler below is sequential.
 	stairRes := sweepPoints(o, len(stair), func(i int) dlrm.Result {
@@ -132,12 +120,13 @@ func runFig12a(o Options) *Table {
 			if len(thr) > 2 {
 				pear = stats.Pearson(model, thr)
 			}
-			t.AddRow(fmt.Sprintf("%d", i), f0(r), f2(thr[len(thr)-1]), f2(m), f2(pear))
+			d.AddRow(results.Int(int64(i)), results.Num(r, 0), results.Num(thr[len(thr)-1], 2),
+				results.Num(m, 2), results.Num(pear, 2))
 			i++
 		}
 	}
-	t.AddNote("final Pearson = %.2f (paper: mostly positive — direction is what Algorithm 1 needs)", stats.Pearson(model, thr))
-	return t
+	d.AddNote("final Pearson = %.2f (paper: mostly positive — direction is what Algorithm 1 needs)", stats.Pearson(model, thr))
+	return d
 }
 
 // captionTimeline drives a Caption controller against a workload evaluated
@@ -165,7 +154,7 @@ func steadyMean(xs []float64) float64 {
 	return stats.Mean(tail)
 }
 
-func runFig12b(o Options) *Table {
+func runFig12b(o Options) *results.Dataset {
 	sys := topo.NewSystem(topo.DefaultConfig())
 	est := fitDLRMEstimator(o, sys)
 	mix := []spec.Member{{Profile: spec.Roms, Instances: 8}, {Profile: spec.Mcf, Instances: 8}}
@@ -176,17 +165,14 @@ func runFig12b(o Options) *Table {
 		return res.GIPS / base, res.Sample
 	}, 40)
 
-	t := &Table{
-		ID:      "fig12b",
-		Title:   "Caption autotuning SPEC-Mix (roms+mcf): ratio, throughput, model output",
-		Headers: []string{"Interval", "CXL %", "Norm. throughput", "Model output"},
-	}
+	d := newDataset(o, "fig12b", "Caption autotuning SPEC-Mix (roms+mcf): ratio, throughput, model output",
+		col("Interval", ""), col("CXL %", "%"), col("Norm. throughput", "x DDR100"), col("Model output", ""))
 	for i := range ratios {
-		t.AddRow(fmt.Sprintf("%d", i), f0(ratios[i]), f2(thr[i]), f2(model[i]))
+		d.AddRow(results.Int(int64(i)), results.Num(ratios[i], 0), results.Num(thr[i], 2), results.Num(model[i], 2))
 	}
-	t.AddNote("Pearson(model, throughput) = %.2f; steady-state ratio %.0f%% (paper converges to 29-41%%)",
+	d.AddNote("Pearson(model, throughput) = %.2f; steady-state ratio %.0f%% (paper converges to 29-41%%)",
 		stats.Pearson(model, thr), steadyMean(ratios))
-	return t
+	return d
 }
 
 // fig13Case evaluates one benchmark/mix at a ratio: returns throughput in
@@ -229,31 +215,30 @@ func fig13Cases(sys *topo.System, o Options) []fig13Case {
 	return cases
 }
 
-func runFig13(o Options) *Table {
+func runFig13(o Options) *results.Dataset {
 	sys := topo.NewSystem(topo.DefaultConfig())
 	est := fitDLRMEstimator(o, sys)
 
-	t := &Table{
-		ID:      "fig13",
-		Title:   "Throughput normalized to the default 50:50 static policy",
-		Headers: []string{"Benchmark", "DDR 100:0", "50:50", "Caption", "Caption ratio"},
-	}
+	d := newDataset(o, "fig13", "Throughput normalized to the default 50:50 static policy",
+		col("Benchmark", ""), col("DDR 100:0", "x 50:50"), col("50:50", "x 50:50"),
+		col("Caption", "x 50:50"), col("Caption ratio", "%"))
 	// Each benchmark row — two static policies plus a 40-interval Caption
 	// timeline — is an independent sweep point; only the timeline's control
 	// loop is inherently sequential.
 	cases := fig13Cases(sys, o)
-	rows := sweepPoints(o, len(cases), func(i int) []string {
+	rows := sweepPoints(o, len(cases), func(i int) []results.Cell {
 		c := cases[i]
 		ddr, _ := c.eval(0)
 		half, _ := c.eval(50)
 		ratios, thr, _ := captionTimeline(est, c.eval, 40)
 		capThr := steadyMean(thr)
 		capRatio := steadyMean(ratios)
-		return []string{c.name, f2(ddr / half), f2(half / half), f2(capThr / half), fmt.Sprintf("%.0f%%", capRatio)}
+		return []results.Cell{results.Str(c.name), results.Num(ddr/half, 2), results.Num(half/half, 2),
+			results.Num(capThr/half, 2), results.PctPoints(capRatio, 0)}
 	})
 	for _, row := range rows {
-		t.AddRow(row...)
+		d.AddRow(row...)
 	}
-	t.AddNote("paper: Caption beats the best static policy by 19/18/8/20%% (singles) and 24/1/4%% (mixes), allocating 29-41%% to CXL")
-	return t
+	d.AddNote("paper: Caption beats the best static policy by 19/18/8/20%% (singles) and 24/1/4%% (mixes), allocating 29-41%% to CXL")
+	return d
 }

@@ -1,10 +1,13 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation from the simulated system. Each experiment is a named driver
-// returning a Table whose rows mirror what the paper plots; the cxlbench
-// command and the repository-level benchmarks run them by ID.
+// returning a typed results.Dataset whose rows mirror what the paper plots;
+// rendering is a consumer concern handled by the results emitters (text,
+// json, csv), and the cxlbench command, the cxlserve daemon and the
+// repository-level benchmarks run drivers by ID.
 //
-// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// See DESIGN.md §3 for the experiment index, DESIGN.md §10 for the
+// structured-results core, and EXPERIMENTS.md for the paper-vs-measured
+// record.
 package experiments
 
 import (
@@ -12,7 +15,9 @@ import (
 	"sort"
 	"strings"
 
+	"cxlmem/internal/memo"
 	"cxlmem/internal/mlc"
+	"cxlmem/internal/results"
 )
 
 // Options tune an experiment run.
@@ -61,7 +66,20 @@ func (o Options) scale(n int) int {
 	return n
 }
 
-// Table is a rendered experiment result.
+// fingerprint is the options part of every memo key: exactly the knobs that
+// change a result's numbers. Parallel is excluded by design — results are
+// byte-identical for every worker count (the serial-vs-parallel equivalence
+// test pins it), so a cached value is valid across fan-outs.
+func (o Options) fingerprint() string {
+	return fmt.Sprintf("quick=%t|fastwarm=%t|seed=%d|platform=%s",
+		o.Quick, o.FastWarmup, o.Seed, o.Platform)
+}
+
+// Table is the legacy pre-formatted rendering path: rows of already
+// formatted strings. Drivers no longer build Tables — they return typed
+// results.Datasets — but the type and its Render stay as the reference
+// implementation the emitter-equivalence property test compares the text
+// emitter against (and as a conversion target via LegacyTable).
 type Table struct {
 	// ID is the experiment identifier ("fig3", "table1", ...).
 	ID string
@@ -75,29 +93,19 @@ type Table struct {
 	Notes []string
 }
 
-// AddRow appends a formatted row.
-func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
-
-// AddNote appends a note line.
-func (t *Table) AddNote(format string, args ...any) {
-	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+// LegacyTable formats a dataset down to the legacy pre-formatted Table —
+// the lossy direction: cells become display strings.
+func LegacyTable(d *results.Dataset) *Table {
+	return &Table{ID: d.ID, Title: d.Title, Headers: d.Headers(), Rows: d.TextRows(), Notes: d.Notes}
 }
 
-// Render returns an aligned text rendering.
+// Render returns an aligned text rendering. The column-width pass is the
+// shared results.ColumnWidths helper — the same one the text emitter uses —
+// so the two renderers cannot drift.
 func (t *Table) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
-	widths := make([]int, len(t.Headers))
-	for i, h := range t.Headers {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
+	widths := results.ColumnWidths(t.Headers, t.Rows)
 	writeRow := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {
@@ -130,17 +138,33 @@ type Experiment struct {
 	ID string
 	// Desc is a one-line description.
 	Desc string
-	// Run executes the experiment.
-	Run func(Options) *Table
+	// Run executes the experiment and returns its typed dataset. The
+	// returned dataset may be cached and emitted concurrently — callers and
+	// drivers treat it as immutable once returned.
+	Run func(Options) *results.Dataset
+	// UsesPlatform marks drivers whose cells consume Options.Platform (the
+	// matrix experiments). The paper's fixed figures measure the Table-1
+	// machine and ignore the knob by construction, so for them RunDataset
+	// blanks the platform before caching and provenance-stamping — the wire
+	// form must never label Table-1 numbers with another machine.
+	UsesPlatform bool
 }
 
 var registry = map[string]Experiment{}
 
-func register(id, desc string, run func(Options) *Table) {
+func register(id, desc string, run func(Options) *results.Dataset) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
 	registry[id] = Experiment{ID: id, Desc: desc, Run: run}
+}
+
+// registerMatrix registers a platform-sensitive scenario-matrix driver.
+func registerMatrix(id, desc string, run func(Options) *results.Dataset) {
+	register(id, desc, run)
+	e := registry[id]
+	e.UsesPlatform = true
+	registry[id] = e
 }
 
 // Get returns the experiment with the given ID.
@@ -171,7 +195,72 @@ func IDs() []string {
 	return ids
 }
 
-func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
-func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
-func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
-func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+// datasetCache memoizes whole experiment datasets process-wide, so repeated
+// RunDataset calls — a cxlserve daemon answering the same query, or the
+// emitters re-rendering one run as text/json/csv — evaluate each
+// (experiment, options) pair once. Keys exclude the worker count
+// (Options.fingerprint), matching the byte-identity contract.
+var datasetCache = memo.NewCache()
+
+// RunDataset runs the experiment with the given ID under the options and
+// returns its dataset, memoized process-wide. The returned dataset is shared
+// between callers: treat it as immutable and render it through the results
+// emitters.
+func RunDataset(id string, o Options) (*results.Dataset, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	// Registered drivers treat cell failures as programming errors (panic),
+	// so reject bad user-supplied options before dispatching.
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	// Fixed figures ignore the platform knob; blanking it after validation
+	// keeps their cache entry and provenance honest (one dataset, labeled
+	// Table 1) instead of forking identical copies per requested platform.
+	if !e.UsesPlatform {
+		o.Platform = ""
+	}
+	v, err := datasetCache.Do("experiment|"+id+"|"+o.fingerprint(), func() (out any, err error) {
+		// A panicking driver must become a cached error, not a poisoned
+		// entry: memo's sync.Once would otherwise mark the key done with
+		// neither value nor error and every revisit would fail blindly.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiments: %s panicked: %v", id, r)
+			}
+		}()
+		return e.Run(o), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, ok := v.(*results.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s produced no dataset", id)
+	}
+	return d, nil
+}
+
+// newDataset starts a driver's dataset, stamping the run's provenance from
+// the options.
+func newDataset(o Options, id, title string, cols ...results.Column) *results.Dataset {
+	d := results.New(id, title, cols...)
+	d.Prov = results.Provenance{
+		ExperimentID: id,
+		Platform:     o.Platform,
+		Quick:        o.Quick,
+		FastWarmup:   o.FastWarmup,
+		Seed:         o.Seed,
+	}
+	return d
+}
+
+// col builds a dataset column: the display header (rendered verbatim) plus
+// the machine-readable unit of its numeric cells.
+func col(name, unit string) results.Column { return results.Column{Name: name, Unit: unit} }
+
+// f2 formats a float at two decimals for compacted detail strings; tabular
+// cells carry typed results.Num values instead.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -4,11 +4,13 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"cxlmem/internal/results"
 )
 
-// quick runs every experiment in quick mode once; the table contents carry
-// the assertions below.
-func runQuick(t *testing.T, id string) *Table {
+// quick runs every experiment in quick mode once; the dataset contents
+// carry the assertions below.
+func runQuick(t *testing.T, id string) *results.Dataset {
 	t.Helper()
 	e, err := Get(id)
 	if err != nil {
@@ -16,22 +18,22 @@ func runQuick(t *testing.T, id string) *Table {
 	}
 	opts := DefaultOptions()
 	opts.Quick = true
-	tbl := e.Run(opts)
-	if tbl.ID != id {
-		t.Fatalf("table id %q != %q", tbl.ID, id)
+	d := e.Run(opts)
+	if d.ID != id {
+		t.Fatalf("dataset id %q != %q", d.ID, id)
 	}
-	if len(tbl.Rows) == 0 {
+	if len(d.Rows) == 0 {
 		t.Fatalf("%s produced no rows", id)
 	}
-	return tbl
+	return d
 }
 
-func cell(t *testing.T, tbl *Table, row, col int) float64 {
+func cell(t *testing.T, d *results.Dataset, row, col int) float64 {
 	t.Helper()
-	s := strings.TrimSuffix(tbl.Rows[row][col], "%")
+	s := strings.TrimSuffix(d.Rows[row][col].Text(), "%")
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, tbl.Rows[row][col])
+		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, d.Rows[row][col].Text())
 	}
 	return v
 }
@@ -241,7 +243,7 @@ func TestFig12aPositiveSynchrony(t *testing.T) {
 func TestFig13CaptionCompetitive(t *testing.T) {
 	tbl := runQuick(t, "fig13")
 	for r := range tbl.Rows {
-		name := tbl.Rows[r][0]
+		name := tbl.Rows[r][0].Text()
 		ddr := cell(t, tbl, r, 1)
 		half := cell(t, tbl, r, 2)
 		caption := cell(t, tbl, r, 3)

@@ -7,7 +7,8 @@
 // are memoized process-wide in a memo.Cache keyed by the canonical scenario
 // spec plus an options fingerprint, so cells shared between matrices — and
 // the serial/parallel double runs of the equivalence tests — are computed
-// once.
+// once. Cell values are structured workloads.Metrics; formatting happens
+// only at the emitter layer (DESIGN.md §10).
 package experiments
 
 import (
@@ -15,15 +16,16 @@ import (
 	"strings"
 
 	"cxlmem/internal/memo"
+	"cxlmem/internal/results"
 	"cxlmem/internal/topo"
 	"cxlmem/internal/workloads"
 )
 
 func init() {
-	register("matrix-apps", "scenario matrix: every registered workload x DDR/interleave/CXL placement", runMatrixApps)
-	register("matrix-policy", "scenario matrix: throughput workloads x 5 interleaving policies", runMatrixPolicy)
-	register("matrix-size", "scenario matrix: size-aware workloads x working-set sizes", runMatrixSize)
-	register("matrix-platform", "scenario matrix: representative workloads x every registered platform profile", runMatrixPlatform)
+	registerMatrix("matrix-apps", "scenario matrix: every registered workload x DDR/interleave/CXL placement", runMatrixApps)
+	registerMatrix("matrix-policy", "scenario matrix: throughput workloads x 5 interleaving policies", runMatrixPolicy)
+	registerMatrix("matrix-size", "scenario matrix: size-aware workloads x working-set sizes", runMatrixSize)
+	registerMatrix("matrix-platform", "scenario matrix: representative workloads x every registered platform profile", runMatrixPlatform)
 }
 
 // cellCache memoizes evaluated matrix cells for the lifetime of the
@@ -48,8 +50,7 @@ func (o Options) Validate() error {
 // options' platform joins the fingerprint because a cell without its own
 // platform= key inherits it — cached values must never leak across machines.
 func (o Options) cellKey(sc workloads.Scenario) string {
-	return fmt.Sprintf("%s|quick=%t|fastwarm=%t|seed=%d|platform=%s",
-		sc.String(), o.Quick, o.FastWarmup, o.Seed, o.Platform)
+	return sc.String() + "|" + o.fingerprint()
 }
 
 // scenarioEnv builds the workload environment for one cell: the cell's own
@@ -99,6 +100,30 @@ func runScenarioCached(cache *memo.Cache, o Options, sc workloads.Scenario) (wor
 	return v.(workloads.Metrics), nil
 }
 
+// ScenarioResult evaluates one scenario cell (memoized) and returns its
+// full metric list as a typed dataset — one row per metric, the scenario's
+// canonical spec in the provenance. This is the single-cell structured form
+// served by cxlserve's /v1/scenario and the facade's RunScenario.
+func ScenarioResult(o Options, sc workloads.Scenario) (*results.Dataset, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := RunScenario(o, sc)
+	if err != nil {
+		return nil, err
+	}
+	d := m.Dataset("scenario", "scenario "+sc.String())
+	d.Prov = results.Provenance{
+		ExperimentID: "scenario",
+		Platform:     o.Platform,
+		Scenario:     sc.String(),
+		Quick:        o.Quick,
+		FastWarmup:   o.FastWarmup,
+		Seed:         o.Seed,
+	}
+	return d, nil
+}
+
 // ParseScenarios parses a list of spec strings, failing on the first bad one.
 func ParseScenarios(specs []string) ([]workloads.Scenario, error) {
 	out := make([]workloads.Scenario, len(specs))
@@ -112,15 +137,15 @@ func ParseScenarios(specs []string) ([]workloads.Scenario, error) {
 	return out, nil
 }
 
-// ScenarioTable evaluates the scenarios across the options' worker pool and
-// renders them as one table, one row per cell in input order: the headline
-// metric plus the remaining metrics compacted into a detail column.
-func ScenarioTable(o Options, id, title string, scs []workloads.Scenario) (*Table, error) {
-	return scenarioTableCached(cellCache, o, id, title, scs)
+// ScenarioDataset evaluates the scenarios across the options' worker pool
+// and returns them as one dataset, one row per cell in input order: the
+// headline metric plus the remaining metrics compacted into a detail column.
+func ScenarioDataset(o Options, id, title string, scs []workloads.Scenario) (*results.Dataset, error) {
+	return scenarioDatasetCached(cellCache, o, id, title, scs)
 }
 
-// scenarioTableCached is ScenarioTable against an explicit cell cache.
-func scenarioTableCached(cache *memo.Cache, o Options, id, title string, scs []workloads.Scenario) (*Table, error) {
+// scenarioDatasetCached is ScenarioDataset against an explicit cell cache.
+func scenarioDatasetCached(cache *memo.Cache, o Options, id, title string, scs []workloads.Scenario) (*results.Dataset, error) {
 	type cell struct {
 		m   workloads.Metrics
 		err error
@@ -129,11 +154,8 @@ func scenarioTableCached(cache *memo.Cache, o Options, id, title string, scs []w
 		m, err := runScenarioCached(cache, o, scs[i])
 		return cell{m, err}
 	})
-	t := &Table{
-		ID:      id,
-		Title:   title,
-		Headers: []string{"Scenario", "Metric", "Value", "Unit", "Detail"},
-	}
+	d := newDataset(o, id, title,
+		col("Scenario", ""), col("Metric", ""), col("Value", ""), col("Unit", ""), col("Detail", ""))
 	for i, c := range cells {
 		if c.err != nil {
 			return nil, fmt.Errorf("experiments: scenario %q: %w", scs[i], c.err)
@@ -143,9 +165,10 @@ func scenarioTableCached(cache *memo.Cache, o Options, id, title string, scs []w
 		for _, it := range c.m.Items[1:] {
 			detail = append(detail, fmt.Sprintf("%s=%s%s", it.Name, f2(it.Value), it.Unit))
 		}
-		t.AddRow(scs[i].String(), p.Name, f2(p.Value), p.Unit, strings.Join(detail, " "))
+		d.AddRow(results.Str(scs[i].String()), results.Str(p.Name), results.Num(p.Value, 2),
+			results.Str(p.Unit), results.Str(strings.Join(detail, " ")))
 	}
-	return t, nil
+	return d, nil
 }
 
 // mustScenarios parses code-defined matrix specs; a bad literal is a
@@ -158,14 +181,14 @@ func mustScenarios(specs []string) []workloads.Scenario {
 	return scs
 }
 
-// mustScenarioTable is ScenarioTable for registered matrix experiments,
+// mustScenarioDataset is ScenarioDataset for registered matrix experiments,
 // whose code-defined cells cannot legitimately fail.
-func mustScenarioTable(o Options, id, title string, specs []string) *Table {
-	t, err := ScenarioTable(o, id, title, mustScenarios(specs))
+func mustScenarioDataset(o Options, id, title string, specs []string) *results.Dataset {
+	d, err := ScenarioDataset(o, id, title, mustScenarios(specs))
 	if err != nil {
 		panic(err)
 	}
-	return t
+	return d
 }
 
 // matrixPlacements are the coarse placement policies of matrix-apps.
@@ -183,12 +206,12 @@ func matrixAppsSpecs() []string {
 	return specs
 }
 
-func runMatrixApps(o Options) *Table {
-	t := mustScenarioTable(o, "matrix-apps",
+func runMatrixApps(o Options) *results.Dataset {
+	d := mustScenarioDataset(o, "matrix-apps",
 		"every registered workload under DDR-only, 50:50 interleave, and CXL-only placement",
 		matrixAppsSpecs())
-	t.AddNote("latency workloads (kvstore, dsb, fio) degrade toward cxl; bandwidth-bound dlrm/fluid peak at an interior split (F1/F4)")
-	return t
+	d.AddNote("latency workloads (kvstore, dsb, fio) degrade toward cxl; bandwidth-bound dlrm/fluid peak at an interior split (F1/F4)")
+	return d
 }
 
 // matrixPolicySpecs sweeps the paper's weighted-interleave knob across the
@@ -205,12 +228,12 @@ func matrixPolicySpecs() []string {
 	return specs
 }
 
-func runMatrixPolicy(o Options) *Table {
-	t := mustScenarioTable(o, "matrix-policy",
+func runMatrixPolicy(o Options) *results.Dataset {
+	d := mustScenarioDataset(o, "matrix-policy",
 		"weighted-interleave sweep over the throughput workloads",
 		matrixPolicySpecs())
-	t.AddNote("paper F4: the best ratio is interior and workload-dependent — the knob Caption tunes at runtime (fig13)")
-	return t
+	d.AddNote("paper F4: the best ratio is interior and workload-dependent — the knob Caption tunes at runtime (fig13)")
+	return d
 }
 
 // matrixSizeSpecs sweeps working-set size over the size-aware workloads at
@@ -227,12 +250,12 @@ func matrixSizeSpecs() []string {
 	return specs
 }
 
-func runMatrixSize(o Options) *Table {
-	t := mustScenarioTable(o, "matrix-size",
+func runMatrixSize(o Options) *results.Dataset {
+	d := mustScenarioDataset(o, "matrix-size",
 		"working-set size sweep at 50:50 interleave",
 		matrixSizeSpecs())
-	t.AddNote("size moves the LLC-resident share: small sets hide the CXL latency, large sets expose device bandwidth (O6)")
-	return t
+	d.AddNote("size moves the LLC-resident share: small sets hide the CXL latency, large sets expose device bandwidth (O6)")
+	return d
 }
 
 // matrixPlatformSpecs crosses a latency-, a bandwidth- and a
@@ -249,12 +272,12 @@ func matrixPlatformSpecs() []string {
 	return specs
 }
 
-func runMatrixPlatform(o Options) *Table {
-	t := mustScenarioTable(o, "matrix-platform",
+func runMatrixPlatform(o Options) *results.Dataset {
+	d := mustScenarioDataset(o, "matrix-platform",
 		"representative workloads across every registered platform profile",
 		matrixPlatformSpecs())
-	t.AddNote("the machine moves the numbers as much as the policy: ASIC x16 expanders close on DDR while the degraded FPGA collapses throughput (O2)")
-	return t
+	d.AddNote("the machine moves the numbers as much as the policy: ASIC x16 expanders close on DDR while the degraded FPGA collapses throughput (O2)")
+	return d
 }
 
 // AllMatrixScenarios returns the union of every matrix experiment's cells

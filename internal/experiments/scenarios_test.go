@@ -20,11 +20,11 @@ func TestMatrixEquivalenceFreshCache(t *testing.T) {
 	parallel := serial
 	parallel.Parallel = 8
 	scs := AllMatrixScenarios()
-	want, err := scenarioTableCached(memo.NewCache(), serial, "matrix-all", "x", scs)
+	want, err := scenarioDatasetCached(memo.NewCache(), serial, "matrix-all", "x", scs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := scenarioTableCached(memo.NewCache(), parallel, "matrix-all", "x", scs)
+	got, err := scenarioDatasetCached(memo.NewCache(), parallel, "matrix-all", "x", scs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,8 +218,8 @@ func TestScenarioTableErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ScenarioTable(o, "x", "x", []workloads.Scenario{sc}); err == nil {
-		t.Error("bad device cell should fail the table")
+	if _, err := ScenarioDataset(o, "x", "x", []workloads.Scenario{sc}); err == nil {
+		t.Error("bad device cell should fail the dataset")
 	}
 }
 
@@ -244,7 +244,7 @@ func TestAllMatrixScenarios(t *testing.T) {
 	}
 	o := DefaultOptions()
 	o.Quick = true
-	tbl, err := ScenarioTable(o, "matrix-all", "full matrix", all)
+	tbl, err := ScenarioDataset(o, "matrix-all", "full matrix", all)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,41 @@
+// CSV wire form: the data-only view for spreadsheets and plotting scripts.
+// One header record of column names followed by one record per row; numeric
+// cells are emitted at full precision (Cell.Raw — shortest float form that
+// round-trips), not at display precision. Notes and provenance are
+// intentionally dropped: they live in the json emitter, and comment lines
+// would break strict CSV consumers. Field order is the column order, pinned
+// by the dataset schema.
+package results
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// csvEmitter writes the dataset's rows as RFC-4180 CSV.
+type csvEmitter struct{}
+
+// Name implements Emitter.
+func (csvEmitter) Name() string { return "csv" }
+
+// ContentType implements Emitter.
+func (csvEmitter) ContentType() string { return "text/csv; charset=utf-8" }
+
+// Emit implements Emitter.
+func (csvEmitter) Emit(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.Headers()); err != nil {
+		return err
+	}
+	for _, row := range d.Rows {
+		rec := make([]string, len(row))
+		for i, c := range row {
+			rec[i] = c.Raw()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,219 @@
+// Package serve implements the cxlserve HTTP API (DESIGN.md §10): a query
+// daemon over the structured-results core. Every response is a
+// results.Dataset rendered by a pluggable emitter, and every computation
+// flows through the process-wide memo caches — the experiment dataset cache
+// and the scenario cell cache — so concurrent requests for the same result
+// share one evaluation (single-flight) and repeats are free.
+//
+// Endpoints (all GET):
+//
+//	/v1/experiments                         registry listing (JSON)
+//	/v1/run?id=fig3&format=json             one experiment, emitted
+//	/v1/scenario?spec=dlrm/policy=cxl:63    one scenario cell, emitted
+//
+// Shared query parameters on /v1/run and /v1/scenario: format (text|json|
+// csv, default json — it is a query daemon), platform, quick, fastwarm,
+// seed. Request knobs override the server's base options; the sweep worker
+// count stays a server-side setting so clients cannot oversubscribe the
+// host.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cxlmem/internal/experiments"
+	"cxlmem/internal/results"
+	"cxlmem/internal/topo"
+	"cxlmem/internal/workloads"
+)
+
+// defaultFormat is the emitter used when a request names none: JSON, the
+// machine-readable form a query daemon exists to serve.
+const defaultFormat = "json"
+
+// Handler returns the cxlserve HTTP API. base supplies the option defaults
+// every request starts from (quick mode for a staging daemon, a pinned seed,
+// the sweep worker budget); requests may override the result-shaping knobs
+// but not the worker count.
+func Handler(base experiments.Options) http.Handler {
+	mux := http.NewServeMux()
+	s := &server{base: base}
+	mux.HandleFunc("/v1/experiments", s.experiments)
+	mux.HandleFunc("/v1/run", s.run)
+	mux.HandleFunc("/v1/scenario", s.scenario)
+	return recoverMiddleware(mux)
+}
+
+// server carries the base options shared by every request.
+type server struct {
+	base experiments.Options
+}
+
+// recoverMiddleware converts a panicking handler (experiment drivers treat
+// internal failures as programming errors) into a 500 instead of killing
+// the daemon's connection goroutine silently.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// experimentInfo is one row of the /v1/experiments listing.
+type experimentInfo struct {
+	ID   string `json:"id"`
+	Desc string `json:"desc"`
+}
+
+// catalog is the /v1/experiments response shape: the runnable experiment
+// IDs plus the accepted format and platform values for /v1/run.
+type catalog struct {
+	Experiments []experimentInfo `json:"experiments"`
+	Formats     []string         `json:"formats"`
+	Platforms   []string         `json:"platforms"`
+}
+
+func (s *server) experiments(w http.ResponseWriter, r *http.Request) {
+	if !methodGet(w, r) {
+		return
+	}
+	c := catalog{Formats: results.Formats(), Platforms: topo.PlatformNames()}
+	for _, e := range experiments.All() {
+		c.Experiments = append(c.Experiments, experimentInfo{ID: e.ID, Desc: e.Desc})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c)
+}
+
+func (s *server) run(w http.ResponseWriter, r *http.Request) {
+	if !methodGet(w, r) {
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id parameter (see /v1/experiments)", http.StatusBadRequest)
+		return
+	}
+	opts, em, ok := s.requestOptions(w, r)
+	if !ok {
+		return
+	}
+	d, err := experiments.RunDataset(id, opts)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case strings.Contains(err.Error(), "unknown id"):
+			status = http.StatusNotFound
+		case strings.Contains(err.Error(), "panicked"):
+			// A recovered driver panic is an internal failure, not a bad
+			// request.
+			status = http.StatusInternalServerError
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	emit(w, em, d)
+}
+
+func (s *server) scenario(w http.ResponseWriter, r *http.Request) {
+	if !methodGet(w, r) {
+		return
+	}
+	spec := r.URL.Query().Get("spec")
+	if spec == "" {
+		http.Error(w, "missing spec parameter (e.g. spec=dlrm/policy=cxl:63)", http.StatusBadRequest)
+		return
+	}
+	opts, em, ok := s.requestOptions(w, r)
+	if !ok {
+		return
+	}
+	sc, err := workloads.ParseScenario(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d, err := experiments.ScenarioResult(opts, sc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	emit(w, em, d)
+}
+
+// requestOptions resolves the request's option overrides and emitter on top
+// of the server base; on failure it writes a 400 and returns ok=false.
+func (s *server) requestOptions(w http.ResponseWriter, r *http.Request) (experiments.Options, results.Emitter, bool) {
+	opts := s.base
+	q := r.URL.Query()
+	if v := q.Get("platform"); v != "" {
+		// Platform names are lowercase in the registry; accept the same
+		// spellings the -platform flag does.
+		opts.Platform = strings.ToLower(v)
+	}
+	for name, dst := range map[string]*bool{"quick": &opts.Quick, "fastwarm": &opts.FastWarmup} {
+		v := q.Get(name)
+		if v == "" {
+			continue
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad %s parameter %q", name, v), http.StatusBadRequest)
+			return opts, nil, false
+		}
+		*dst = b
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad seed parameter %q", v), http.StatusBadRequest)
+			return opts, nil, false
+		}
+		opts.Seed = seed
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = defaultFormat
+	}
+	em, err := results.Lookup(format)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return opts, nil, false
+	}
+	return opts, em, true
+}
+
+// emit renders the dataset through the chosen emitter and writes it with
+// its content type. The rendering is buffered first so an emitter failure
+// (e.g. a NaN cell the JSON encoder rejects) becomes a 500 instead of a
+// silent 200 with an empty body.
+func emit(w http.ResponseWriter, em results.Emitter, d *results.Dataset) {
+	// The dataset is shared with the memo cache; emitters never mutate it.
+	var b strings.Builder
+	if err := em.Emit(&b, d); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", em.ContentType())
+	_, _ = io.WriteString(w, b.String())
+}
+
+// methodGet rejects non-GET requests with 405.
+func methodGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cxlmem/internal/experiments"
+	"cxlmem/internal/results"
+)
+
+// testServer starts the handler over quick, serial base options.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	base := experiments.DefaultOptions()
+	base.Quick = true
+	base.Parallel = 1
+	ts := httptest.NewServer(Handler(base))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// get fetches a path and returns status, content type and body.
+func get(t *testing.T, ts *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestExperimentsEndpoint checks the catalog: every registered ID, the
+// emitter formats and the platform registry.
+func TestExperimentsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, ctype, body := get(t, ts, "/v1/experiments")
+	if status != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("status %d, content-type %s", status, ctype)
+	}
+	var c struct {
+		Experiments []struct{ ID, Desc string } `json:"experiments"`
+		Formats     []string                    `json:"formats"`
+		Platforms   []string                    `json:"platforms"`
+	}
+	if err := json.Unmarshal([]byte(body), &c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Experiments) != len(experiments.IDs()) {
+		t.Errorf("catalog lists %d experiments, registry has %d", len(c.Experiments), len(experiments.IDs()))
+	}
+	if len(c.Formats) != 3 || c.Formats[0] != "text" {
+		t.Errorf("formats = %v", c.Formats)
+	}
+	if len(c.Platforms) < 4 {
+		t.Errorf("platforms = %v", c.Platforms)
+	}
+}
+
+// TestRunEndpoint fetches one experiment in every format and checks the
+// JSON decodes back to a typed dataset.
+func TestRunEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, ctype, body := get(t, ts, "/v1/run?id=table2")
+	if status != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("default format: status %d, content-type %s", status, ctype)
+	}
+	d, err := results.ParseJSON([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "table2" || len(d.Rows) == 0 {
+		t.Errorf("served dataset = %s with %d rows", d.ID, len(d.Rows))
+	}
+	if !d.Prov.Quick {
+		t.Error("server base options should stamp quick provenance")
+	}
+
+	status, ctype, body = get(t, ts, "/v1/run?id=table2&format=text")
+	if status != http.StatusOK || !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("text format: status %d, content-type %s", status, ctype)
+	}
+	if !strings.HasPrefix(body, "== table2:") {
+		t.Errorf("text body = %q", body[:40])
+	}
+
+	status, ctype, _ = get(t, ts, "/v1/run?id=table2&format=csv")
+	if status != http.StatusOK || !strings.HasPrefix(ctype, "text/csv") {
+		t.Fatalf("csv format: status %d, content-type %s", status, ctype)
+	}
+}
+
+// TestRunEndpointErrors pins the failure modes: missing/unknown id, bad
+// format, bad platform, bad boolean, wrong method.
+func TestRunEndpointErrors(t *testing.T) {
+	ts := testServer(t)
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/run", http.StatusBadRequest},
+		{"/v1/run?id=fig99", http.StatusNotFound},
+		{"/v1/run?id=table2&format=yaml", http.StatusBadRequest},
+		{"/v1/run?id=matrix-apps&platform=atari2600", http.StatusBadRequest},
+		{"/v1/run?id=table2&quick=maybe", http.StatusBadRequest},
+		{"/v1/run?id=table2&seed=banana", http.StatusBadRequest},
+		{"/v1/scenario", http.StatusBadRequest},
+		{"/v1/scenario?spec=nope", http.StatusBadRequest},
+		{"/v1/scenario?spec=ycsb/flavor=mild", http.StatusBadRequest},
+	} {
+		if status, _, body := get(t, ts, tc.path); status != tc.want {
+			t.Errorf("GET %s = %d (%s), want %d", tc.path, status, strings.TrimSpace(body), tc.want)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/run?id=table2", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestScenarioEndpoint fetches one scenario cell and checks the metric
+// dataset shape and provenance.
+func TestScenarioEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, _, body := get(t, ts, "/v1/scenario?spec=fluid/policy=interleave/size=64M")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	d, err := results.ParseJSON([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Prov.Scenario == "" || len(d.Rows) == 0 {
+		t.Errorf("scenario dataset = %+v", d)
+	}
+	if d.Rows[0][0].Text() != "system_bw" {
+		t.Errorf("primary metric = %q", d.Rows[0][0].Text())
+	}
+}
+
+// TestConcurrentRequests exercises the race-tested path of the acceptance
+// criteria: 16 concurrent requests — the same experiment in several
+// formats, a matrix experiment and scenario cells — all funneling into the
+// shared dataset and cell memo caches. Run under -race in CI; the test also
+// asserts all same-query responses are byte-identical.
+func TestConcurrentRequests(t *testing.T) {
+	ts := testServer(t)
+	paths := []string{
+		"/v1/run?id=fig4a",
+		"/v1/run?id=fig4a&format=text",
+		"/v1/run?id=fig4a&format=csv",
+		"/v1/run?id=matrix-size",
+		"/v1/scenario?spec=fluid/policy=interleave/size=64M",
+		"/v1/scenario?spec=kvstore/policy=cxl",
+		"/v1/experiments",
+		"/v1/run?id=table3",
+	}
+	const perPath = 2 // 16 concurrent requests over 8 distinct queries
+	type result struct {
+		path   string
+		status int
+		body   string
+	}
+	out := make([]result, len(paths)*perPath)
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := paths[i%len(paths)]
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				out[i] = result{path: path, status: -1, body: err.Error()}
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			out[i] = result{path: path, status: resp.StatusCode, body: string(body)}
+		}(i)
+	}
+	wg.Wait()
+	first := make(map[string]string)
+	for _, r := range out {
+		if r.status != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", r.path, r.status, r.body)
+		}
+		if prev, ok := first[r.path]; ok && prev != r.body {
+			t.Errorf("concurrent responses for %s diverge", r.path)
+		}
+		first[r.path] = r.body
+	}
+}

@@ -20,6 +20,7 @@ package workloads
 import (
 	"fmt"
 
+	"cxlmem/internal/results"
 	"cxlmem/internal/topo"
 )
 
@@ -162,6 +163,20 @@ func (m Metrics) Primary() Metric {
 		return Metric{}
 	}
 	return m.Items[0]
+}
+
+// Dataset converts the ordered metrics into a typed results.Dataset — one
+// row per metric in insertion order, values kept at full precision. This is
+// the structured form the emitter layer (results: text/json/csv) and the
+// cxlserve scenario endpoint render from; callers stamp provenance on the
+// returned dataset.
+func (m Metrics) Dataset(id, title string) *results.Dataset {
+	d := results.New(id, title,
+		results.Column{Name: "Metric"}, results.Column{Name: "Value"}, results.Column{Name: "Unit"})
+	for _, it := range m.Items {
+		d.AddRow(results.Str(it.Name), results.Num(it.Value, 2), results.Str(it.Unit))
+	}
+	return d
 }
 
 // Get looks a measurement up by name.
