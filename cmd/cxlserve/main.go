@@ -1,15 +1,22 @@
 // Command cxlserve is the structured-results query daemon: it serves every
 // registered experiment and any scenario spec over HTTP, rendered by the
 // pluggable emitters (json by default, text and csv on request). Results are
-// memoized process-wide with single-flight semantics, so concurrent clients
-// asking for the same table share one evaluation and repeats are served from
-// the cache.
+// memoized process-wide in bounded, hotness-aware caches with single-flight
+// semantics, so concurrent clients asking for the same table share one
+// evaluation and repeats are served from the cache.
+//
+// The daemon is production-hardened (DESIGN.md §11): requests carry a
+// deadline that cancels in-flight sweep work, an admission gate sheds load
+// beyond the in-flight budget with 429/503 + Retry-After, /metrics exposes
+// cache and latency counters, /healthz answers liveness probes, and SIGINT/
+// SIGTERM drain gracefully — queued work is shed, in-flight requests finish.
 //
 // Usage:
 //
 //	cxlserve                          # listen on :8080, full fidelity
 //	cxlserve -addr :9000 -quick       # reduced sample counts (staging/CI)
 //	cxlserve -parallel 4              # bound each run's sweep worker pool
+//	cxlserve -max-inflight 8 -max-queue 64 -timeout 30s -cache-entries 512
 //
 // Endpoints:
 //
@@ -17,19 +24,29 @@
 //	GET /v1/run?id=fig5&format=json             one experiment
 //	GET /v1/run?id=matrix-apps&format=csv       matrices too
 //	GET /v1/scenario?spec=dlrm/policy=cxl:63    one scenario cell
+//	GET /metrics                                cache/admission/latency counters
+//	GET /healthz                                liveness (503 while draining)
 //
-// Requests may override platform=, quick=, fastwarm= and seed=; the sweep
-// worker count stays a server flag so clients cannot oversubscribe the host.
+// Requests may override platform=, quick=, fastwarm= and seed=, and lower
+// (never raise) the deadline with timeout=; the sweep worker count stays a
+// server flag so clients cannot oversubscribe the host.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
 
 	"cxlmem/internal/experiments"
+	"cxlmem/internal/memo"
 	"cxlmem/internal/serve"
 )
 
@@ -40,6 +57,12 @@ func main() {
 	seed := flag.Uint64("seed", 0, "default experiment seed (0 = calibrated default)")
 	fastwarm := flag.Bool("fastwarm", false, "default to convergence-based cache warmup")
 	platform := flag.String("platform", "", "default platform profile for scenario cells")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline (0 = none; requests may lower it with timeout=)")
+	maxInflight := flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0), "max concurrently admitted compute requests (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 64, "requests allowed to wait for an admission slot before shedding 429")
+	cacheEntries := flag.Int("cache-entries", 1024, "entry budget per memo cache, evicted cold-first (0 = unbounded)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "expire cached results this long after computation (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -54,10 +77,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cxlserve:", err)
 		os.Exit(1)
 	}
+	experiments.ConfigureCaches(memo.CacheConfig{MaxEntries: *cacheEntries, TTL: *cacheTTL})
 
-	log.Printf("cxlserve: listening on %s (quick=%t parallel=%d)", *addr, *quick, *parallel)
-	if err := http.ListenAndServe(*addr, serve.Handler(opts)); err != nil {
+	s := serve.NewServer(serve.Config{
+		Base:        opts,
+		Timeout:     *timeout,
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("cxlserve: listening on %s (quick=%t parallel=%d max-inflight=%d timeout=%s cache-entries=%d)",
+			*addr, *quick, *parallel, *maxInflight, *timeout, *cacheEntries)
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		// The listener failed before any signal (bad address, port in use).
+		fmt.Fprintln(os.Stderr, "cxlserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop routing (healthz 503), shed queued work, then let
+	// in-flight requests finish under the drain deadline.
+	log.Printf("cxlserve: signal received, draining (up to %s)", *drainTimeout)
+	s.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "cxlserve: drain incomplete:", err)
+		os.Exit(1)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "cxlserve:", err)
 		os.Exit(1)
 	}
+	log.Print("cxlserve: drained, bye")
 }

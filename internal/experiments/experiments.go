@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +20,17 @@ import (
 	"cxlmem/internal/memo"
 	"cxlmem/internal/mlc"
 	"cxlmem/internal/results"
+	"cxlmem/internal/topo"
+)
+
+// Typed sentinel errors: dispatch failures callers branch on with errors.Is
+// (the cxlserve status mapping) instead of matching message substrings.
+var (
+	// ErrNotFound marks a lookup of an unregistered experiment ID.
+	ErrNotFound = errors.New("unknown experiment id")
+	// ErrInternal marks a recovered driver panic — an internal failure of
+	// the experiment, not a bad request.
+	ErrInternal = errors.New("driver panicked")
 )
 
 // Options tune an experiment run.
@@ -42,6 +55,12 @@ type Options struct {
 	// Table-1 default. The paper's fixed figures always run on Table 1 and
 	// ignore it.
 	Platform string
+	// Ctx, when non-nil, bounds the run: the sweep engine stops claiming
+	// operating points once it is done and the dispatchers return the
+	// context's error instead of a dataset. It is excluded from the memo
+	// fingerprint — a deadline shapes *whether* a result arrives, never its
+	// bytes — and canceled computations are not cached.
+	Ctx context.Context
 }
 
 // warmup resolves the options' warmup policy for mlc buffer measurements.
@@ -167,11 +186,12 @@ func registerMatrix(id, desc string, run func(Options) *results.Dataset) {
 	registry[id] = e
 }
 
-// Get returns the experiment with the given ID.
+// Get returns the experiment with the given ID; the failure wraps
+// ErrNotFound.
 func Get(id string) (Experiment, error) {
 	e, ok := registry[id]
 	if !ok {
-		return Experiment{}, fmt.Errorf("experiments: unknown id %q (try 'list')", id)
+		return Experiment{}, fmt.Errorf("experiments: %w %q (try 'list')", ErrNotFound, id)
 	}
 	return e, nil
 }
@@ -202,10 +222,89 @@ func IDs() []string {
 // (Options.fingerprint), matching the byte-identity contract.
 var datasetCache = memo.NewCache()
 
+func init() {
+	// A platform-registry change invalidates every cached result that
+	// depends on the mutated profile or enumerates the registry (DESIGN.md
+	// §11) — the epoch bump topo publishes on RegisterPlatform.
+	topo.OnPlatformChange(invalidatePlatform)
+}
+
+// ConfigureCaches applies the same bounds (entry budget, TTL) to both
+// process-wide memo caches — the dataset cache and the scenario cell cache.
+// cxlserve calls it from its -cache-entries/-cache-ttl flags; a zero config
+// restores the unbounded default.
+func ConfigureCaches(cfg memo.CacheConfig) {
+	datasetCache.Configure(cfg)
+	cellCache.Configure(cfg)
+}
+
+// CacheStats snapshots both process-wide memo caches for the cxlserve
+// /metrics endpoint.
+func CacheStats() (dataset, cell memo.CacheStats) {
+	return datasetCache.Stats(), cellCache.Stats()
+}
+
+// invalidatePlatform drops every cached dataset and scenario cell that
+// depends on the named platform profile, plus the matrix-platform datasets
+// (they enumerate the whole registry, so any registration changes them).
+func invalidatePlatform(name string) {
+	pred := func(key string) bool { return keyDependsOnPlatform(key, name) }
+	datasetCache.InvalidateFunc(pred)
+	cellCache.InvalidateFunc(pred)
+}
+
+// keyDependsOnPlatform reports whether a memo key (cell or dataset) names
+// the platform — as a scenario /platform= key or an options fingerprint —
+// or belongs to a registry-enumerating matrix.
+func keyDependsOnPlatform(key, name string) bool {
+	if strings.HasPrefix(key, "experiment|matrix-platform|") {
+		return true
+	}
+	needle := "platform=" + name
+	for idx := strings.Index(key, needle); idx >= 0; {
+		end := idx + len(needle)
+		// A real reference ends the key or runs into the next delimiter;
+		// anything else is a longer platform name sharing a prefix.
+		if end == len(key) || key[end] == '|' || key[end] == '/' {
+			return true
+		}
+		next := strings.Index(key[idx+1:], needle)
+		if next < 0 {
+			break
+		}
+		idx += 1 + next
+	}
+	return false
+}
+
+// recoverAsErr converts a recovered driver panic into the dispatcher's
+// error: sweep cancellations become the request's context error (which the
+// memo layer never retains), anything else wraps ErrInternal.
+func recoverAsErr(id string, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	switch v := r.(type) {
+	case sweepCancel:
+		*err = fmt.Errorf("experiments: %s: %w", id, v.err)
+	case error:
+		if errors.Is(v, context.Canceled) || errors.Is(v, context.DeadlineExceeded) {
+			*err = fmt.Errorf("experiments: %s: %w", id, v)
+			return
+		}
+		*err = fmt.Errorf("experiments: %s %w: %v", id, ErrInternal, v)
+	default:
+		*err = fmt.Errorf("experiments: %s %w: %v", id, ErrInternal, r)
+	}
+}
+
 // RunDataset runs the experiment with the given ID under the options and
 // returns its dataset, memoized process-wide. The returned dataset is shared
 // between callers: treat it as immutable and render it through the results
-// emitters.
+// emitters. When the options carry a context, its cancellation aborts the
+// run's sweep work (unless another caller still waits on the same key) and
+// returns the context's error uncached.
 func RunDataset(id string, o Options) (*results.Dataset, error) {
 	e, err := Get(id)
 	if err != nil {
@@ -222,16 +321,13 @@ func RunDataset(id string, o Options) (*results.Dataset, error) {
 	if !e.UsesPlatform {
 		o.Platform = ""
 	}
-	v, err := datasetCache.Do("experiment|"+id+"|"+o.fingerprint(), func() (out any, err error) {
-		// A panicking driver must become a cached error, not a poisoned
-		// entry: memo's sync.Once would otherwise mark the key done with
-		// neither value nor error and every revisit would fail blindly.
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("experiments: %s panicked: %v", id, r)
-			}
-		}()
-		return e.Run(o), nil
+	v, err := datasetCache.DoCtx(o.context(), "experiment|"+id+"|"+o.fingerprint(), func(cctx context.Context) (out any, err error) {
+		// A panicking driver must become an error, not a poisoned entry;
+		// recoverAsErr also turns sweep cancellation back into ctx.Err().
+		defer recoverAsErr(id, &err)
+		ro := o
+		ro.Ctx = cctx // the single-flight context: canceled when every waiter leaves
+		return e.Run(ro), nil
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,232 @@
+package experiments
+
+// Hardening tests for the cancellation and cache-invalidation paths
+// (DESIGN.md §11). This test binary must never register platform profiles:
+// the golden corpus for matrix-platform enumerates the registry, so a test
+// registration would corrupt every sibling test. Registration→hook
+// integration lives in the topo package; here the invalidation hook is
+// exercised directly.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cxlmem/internal/memo"
+	"cxlmem/internal/workloads"
+)
+
+// TestSweepCancelStopsWork proves a canceled sweep stops claiming points:
+// with 4 workers over 10k points and a context canceled almost immediately,
+// the evaluated count must stay far below the grid size and the sweep must
+// panic sweepCancel for the dispatcher to translate.
+func TestSweepCancelStopsWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	o := Options{Parallel: 4, Ctx: ctx}
+	var evaluated atomic.Int64
+	const n = 10000
+	func() {
+		defer func() {
+			r := recover()
+			sc, ok := r.(sweepCancel)
+			if !ok {
+				t.Fatalf("sweep panicked %v, want sweepCancel", r)
+			}
+			if !errors.Is(sc.err, context.Canceled) {
+				t.Errorf("sweepCancel carries %v, want context.Canceled", sc.err)
+			}
+		}()
+		forEachPoint(o, n, func(i int) {
+			if evaluated.Add(1) == 2 {
+				cancel()
+			}
+		})
+		t.Fatal("canceled sweep returned normally")
+	}()
+	if got := evaluated.Load(); got >= n/10 {
+		t.Errorf("canceled sweep still evaluated %d of %d points", got, n)
+	}
+}
+
+// TestSerialSweepCancel covers the single-worker path of the same contract.
+func TestSerialSweepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	o := Options{Parallel: 1, Ctx: ctx}
+	var evaluated int
+	defer func() {
+		if _, ok := recover().(sweepCancel); !ok {
+			t.Fatal("serial sweep did not panic sweepCancel")
+		}
+		if evaluated != 3 {
+			t.Errorf("evaluated %d points after cancel at 3", evaluated)
+		}
+	}()
+	forEachPoint(o, 100, func(i int) {
+		evaluated++
+		if evaluated == 3 {
+			cancel()
+		}
+	})
+}
+
+// TestRunDatasetCanceledNotCached checks the full dispatch path: a canceled
+// request surfaces its context error, nothing is cached under the key, and
+// the identical query afterward succeeds from a fresh evaluation.
+func TestRunDatasetCanceledNotCached(t *testing.T) {
+	o := DefaultOptions()
+	o.Quick = true
+	o.Parallel = 2
+	o.Seed = 990101 // unique seed: a fresh dataset-cache key for this test
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o.Ctx = ctx
+	before, _ := CacheStats()
+	if _, err := RunDataset("matrix-size", o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled RunDataset err = %v, want context.Canceled", err)
+	}
+	o.Ctx = nil
+	d, err := RunDataset("matrix-size", o)
+	if err != nil {
+		t.Fatalf("retry after cancel: %v", err)
+	}
+	if len(d.Rows) == 0 {
+		t.Error("retry produced an empty dataset")
+	}
+	after, _ := CacheStats()
+	if after.Misses <= before.Misses {
+		t.Error("retry should have recomputed (cache miss), not served a canceled result")
+	}
+}
+
+// TestCanceledErrorMapsToStatus pins the sentinel wrapping the serve layer
+// depends on: unknown IDs wrap ErrNotFound, driver panics wrap ErrInternal.
+func TestCanceledErrorMapsToStatus(t *testing.T) {
+	if _, err := Get("fig99"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(fig99) = %v, want ErrNotFound", err)
+	}
+	var err error
+	func() {
+		defer recoverAsErr("probe", &err)
+		panic("driver bug")
+	}()
+	if !errors.Is(err, ErrInternal) || !strings.Contains(err.Error(), "driver bug") {
+		t.Errorf("recovered panic = %v, want ErrInternal wrapping the panic value", err)
+	}
+	func() {
+		err = nil
+		defer recoverAsErr("probe", &err)
+		panic(fmt.Errorf("cell: %w", context.DeadlineExceeded))
+	}()
+	if !errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrInternal) {
+		t.Errorf("deadline panic = %v, want the context error, not ErrInternal", err)
+	}
+}
+
+// TestKeyDependsOnPlatform pins the delimiter-boundary matching that keeps
+// invalidation from hitting platforms sharing a name prefix.
+func TestKeyDependsOnPlatform(t *testing.T) {
+	for _, tc := range []struct {
+		key, name string
+		want      bool
+	}{
+		{"experiment|matrix-platform|quick=true", "anything", true},
+		{"kvstore/platform=table1|seed=1", "table1", true},
+		{"kvstore/platform=table1", "table1", true},
+		{"experiment|fig4a|platform=table1/quick", "table1", true},
+		{"kvstore/platform=table1x|seed=1", "table1", false},
+		{"kvstore/platform=table1x/platform=table1|s", "table1", true},
+		{"kvstore/size=64M|seed=1", "table1", false},
+		{"", "table1", false},
+	} {
+		if got := keyDependsOnPlatform(tc.key, tc.name); got != tc.want {
+			t.Errorf("keyDependsOnPlatform(%q, %q) = %v, want %v", tc.key, tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPlatformInvalidation exercises the invalidation hook directly (no
+// registration — see the package comment): cells pinned to a platform are
+// dropped and recomputed after invalidatePlatform, cells on other platforms
+// survive.
+func TestPlatformInvalidation(t *testing.T) {
+	o := DefaultOptions()
+	o.Quick = true
+	o.Parallel = 1
+	o.Seed = 990102 // unique seed: fresh cell keys for this test
+	run := func(spec string) {
+		t.Helper()
+		sc, err := workloads.ParseScenario(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunScenario(o, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const victim = "kvstore/platform=x16-quad"
+	const bystander = "kvstore/platform=snc-off"
+	run(victim)
+	run(bystander)
+	_, mid := CacheStats()
+	run(victim) // warm: a hit
+	if _, after := CacheStats(); after.Hits <= mid.Hits {
+		t.Fatal("repeat cell was not a cache hit")
+	}
+
+	invalidatePlatform("x16-quad")
+	_, st := CacheStats()
+	if st.Invalidations == 0 {
+		t.Fatal("invalidatePlatform dropped nothing")
+	}
+	preMisses := st.Misses
+	run(victim) // must recompute
+	run(bystander)
+	_, st = CacheStats()
+	if st.Misses != preMisses+1 {
+		t.Errorf("misses advanced by %d after invalidation (victim should recompute, bystander should not)",
+			st.Misses-preMisses)
+	}
+}
+
+// TestGoldenStableUnderEviction is the churn acceptance test: with both
+// process caches squeezed to a 4-entry budget (a tenth of the golden
+// corpus), two full passes over every registered experiment must still
+// render byte-identical to the committed goldens while evictions churn
+// underneath.
+func TestGoldenStableUnderEviction(t *testing.T) {
+	ConfigureCaches(memo.CacheConfig{MaxEntries: 4})
+	defer ConfigureCaches(memo.CacheConfig{})
+	dsBefore, cellBefore := CacheStats()
+	o := DefaultOptions()
+	o.Quick = true
+	o.Parallel = 4 // sweeps fan out; rendered bytes are worker-count-invariant
+	for pass := 1; pass <= 2; pass++ {
+		for _, e := range All() {
+			d, err := RunDataset(e.ID, o)
+			if err != nil {
+				t.Fatalf("pass %d: %s: %v", pass, e.ID, err)
+			}
+			want, err := os.ReadFile(goldenPath(e.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := d.Render(); got != string(want) {
+				t.Errorf("pass %d: %s diverges from golden under eviction", pass, e.ID)
+			}
+		}
+	}
+	dsAfter, cellAfter := CacheStats()
+	if dsAfter.Evictions <= dsBefore.Evictions {
+		t.Error("dataset cache never evicted under a 4-entry budget")
+	}
+	if cellAfter.Evictions <= cellBefore.Evictions {
+		t.Error("cell cache never evicted under a 4-entry budget")
+	}
+	if dsAfter.Size > 4 || cellAfter.Size > 4 {
+		t.Errorf("cache sizes %d/%d exceed the 4-entry budget", dsAfter.Size, cellAfter.Size)
+	}
+}

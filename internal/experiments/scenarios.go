@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -78,7 +79,8 @@ func (o Options) scenarioEnv(cellPlatform string) (*workloads.Env, error) {
 
 // RunScenario evaluates one scenario cell under the options, memoized in
 // the process-wide cell cache. Each fresh evaluation builds a private
-// system, so concurrent cells never share mutable state.
+// system, so concurrent cells never share mutable state. Options.Ctx bounds
+// the caller's wait; a canceled cell is never cached.
 func RunScenario(o Options, sc workloads.Scenario) (workloads.Metrics, error) {
 	return runScenarioCached(cellCache, o, sc)
 }
@@ -87,7 +89,12 @@ func RunScenario(o Options, sc workloads.Scenario) (workloads.Metrics, error) {
 // serial-vs-parallel test passes fresh caches so memoization cannot mask a
 // concurrency bug in cell evaluation.
 func runScenarioCached(cache *memo.Cache, o Options, sc workloads.Scenario) (workloads.Metrics, error) {
-	v, err := cache.Do(o.cellKey(sc), func() (any, error) {
+	v, err := cache.DoCtx(o.context(), o.cellKey(sc), func(ctx context.Context) (any, error) {
+		// Cells are the sweep engine's unit of work: a cell that lost every
+		// waiter before starting is skipped, a started one runs to completion.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		env, err := o.scenarioEnv(sc.Platform)
 		if err != nil {
 			return nil, err

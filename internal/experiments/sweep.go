@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,10 +27,35 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// sweepCancel carries a context error out of a canceled sweep as a panic
+// value: drivers have no error return, so cancellation unwinds like a point
+// panic and the dispatcher (recoverAsErr) converts it back into the
+// request's context error — which the memo layer never retains.
+type sweepCancel struct{ err error }
+
+// ctxErr reports the options' context error, nil when no context is set.
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
+// context returns the options' context, Background when none is set.
+func (o Options) context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
 // forEachPoint evaluates eval(0..n-1) across the options' worker pool.
 // eval must not share mutable state between indices. A panicking point is
 // re-panicked on the caller's goroutine after the pool drains, matching the
-// serial failure mode.
+// serial failure mode. When the options carry a context, cancellation stops
+// workers from claiming further points and the sweep panics sweepCancel —
+// in-flight points finish, queued ones never start, and the worker pool is
+// freed for other requests.
 func forEachPoint(o Options, n int, eval func(i int)) {
 	workers := o.workers()
 	if workers > n {
@@ -37,6 +63,9 @@ func forEachPoint(o Options, n int, eval func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := o.ctxErr(); err != nil {
+				panic(sweepCancel{err})
+			}
 			eval(i)
 		}
 		return
@@ -52,6 +81,14 @@ func forEachPoint(o Options, n int, eval func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if err := o.ctxErr(); err != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = sweepCancel{err}
+					}
+					panicMu.Unlock()
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

@@ -1,61 +1,398 @@
-package memo
-
-import "sync"
-
+// Bounded, hotness-aware memoization (DESIGN.md §11).
+//
 // Cache memoizes expensive measurement results by canonical key with
-// single-flight semantics: concurrent callers of Do with the same key block
-// on one computation and share its result, so repeated matrix cells — the
-// same scenario appearing in matrix-apps and matrix-policy, or a re-run
+// single-flight semantics: concurrent callers of Do/DoCtx with the same key
+// block on one computation and share its result, so repeated matrix cells —
+// the same scenario appearing in matrix-apps and matrix-policy, or a re-run
 // under a different worker count — are free after the first evaluation.
+//
+// Unlike the PR-5 prototype, a Cache can be *bounded*: every entry carries
+// hit recency (its position on an LRU list) and a hit-frequency counter, and
+// when a configured entry budget is exceeded the cache evicts cold-first —
+// candidates are sampled from the recency tail and the least-frequently-hit
+// one is dropped, so a hot key that momentarily slid down the list survives
+// a churning scan of one-shot keys. Scanned-but-spared candidates have their
+// frequency halved (classic LFU aging), so formerly-hot keys cannot pin a
+// slot forever. Optional TTL expires completed entries, and explicit
+// invalidation (Invalidate/InvalidateFunc) drops entries whose inputs
+// changed — the experiment layer wires a platform-registry epoch bump to it.
+//
+// Cancellation: DoCtx computations receive a context that is canceled once
+// every caller waiting on the key has abandoned it, so a timed-out request
+// stops its in-flight work instead of leaking it. Context-canceled results
+// and panics are never retained — the next caller recomputes — while any
+// other error is cached like a value: a failing cell fails the same way on
+// every revisit instead of recomputing.
 //
 // Keys must be canonical (the scenario engine uses Scenario.String plus an
 // options fingerprint): two keys are the same cell if and only if the
 // strings are equal. A Cache is safe for concurrent use; the zero value is
-// not — use NewCache.
+// not — use NewCache or NewCacheWith.
+package memo
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// evictScan is how many recency-tail candidates one eviction inspects: the
+// least-frequently-hit of the sample is dropped, the spared rest age.
+const evictScan = 8
+
+// CacheConfig bounds a Cache. The zero value — no entry budget, no TTL —
+// reproduces the unbounded PR-5 semantics.
+type CacheConfig struct {
+	// MaxEntries caps the resident entries when positive; the cache evicts
+	// cold-first (recency-tail sample, lowest frequency dropped) to stay at
+	// the budget. 0 disables eviction. In-flight computations are never
+	// evicted, so under heavy concurrency residency can transiently reach
+	// max(MaxEntries, in-flight).
+	MaxEntries int
+	// TTL expires completed entries this long after their computation
+	// finishes when positive; an expired entry is recomputed on next access.
+	TTL time.Duration
+	// Now overrides the TTL clock, for tests; nil uses time.Now.
+	Now func() time.Time
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters — the raw
+// material of the cxlserve /metrics endpoint.
+type CacheStats struct {
+	// Hits counts Do/DoCtx calls served from a computed or in-flight entry.
+	Hits int64
+	// Misses counts calls that started a fresh computation.
+	Misses int64
+	// Evictions counts entries dropped to keep the entry budget.
+	Evictions int64
+	// Expirations counts entries dropped because their TTL lapsed.
+	Expirations int64
+	// Invalidations counts entries dropped by Invalidate/InvalidateFunc.
+	Invalidations int64
+	// Size is the current resident entry count (computed + in-flight).
+	Size int
+	// InFlight is the number of computations currently running.
+	InFlight int
+}
+
+// Cache is the bounded single-flight result cache. Use NewCache (unbounded)
+// or NewCacheWith.
 type Cache struct {
 	mu      sync.Mutex
+	cfg     CacheConfig
 	entries map[string]*cacheEntry
-	hits    int64
+	lru     *list.List // front = most recently used
+
+	hits, misses, evictions, expirations, invalidations int64
+	inflight                                            int
 }
 
+// cacheEntry is one key's state. Result fields (val, err, panicVal) are
+// written once, before done is closed, and only read after <-done.
 type cacheEntry struct {
-	once sync.Once
-	val  any
-	err  error
+	key  string
+	elem *list.Element
+
+	done     chan struct{} // closed when the computation finishes
+	val      any
+	err      error
+	panicVal any
+	computed bool
+	cctx     context.Context // the computation's context (for claim's retry test)
+
+	freq    int64     // hit-frequency counter, aged on eviction scans
+	expiry  time.Time // zero = never expires
+	waiters int       // callers currently blocked on this entry
+	cancel  context.CancelFunc
 }
 
-// NewCache creates an empty result cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[string]*cacheEntry)}
+// NewCache creates an unbounded result cache — the PR-5 semantics.
+func NewCache() *Cache { return NewCacheWith(CacheConfig{}) }
+
+// NewCacheWith creates a cache with the given bounds.
+func NewCacheWith(cfg CacheConfig) *Cache {
+	return &Cache{cfg: cfg, entries: make(map[string]*cacheEntry), lru: list.New()}
+}
+
+// Configure replaces the cache's bounds, evicting down to a newly lowered
+// entry budget immediately. A changed TTL applies to computations finishing
+// after the call; resident entries keep their stamped expiry.
+func (c *Cache) Configure(cfg CacheConfig) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg = cfg
+	c.evictLocked()
+}
+
+// now resolves the TTL clock.
+func (c *Cache) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
 }
 
 // Do returns the memoized result for key, computing it with compute on the
-// first call. An error result is cached too: a failing cell fails the same
+// first call. Concurrent callers of the same key share one computation. A
+// (non-context) error result is cached too: a failing cell fails the same
 // way on every revisit instead of recomputing.
 func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &cacheEntry{}
-		c.entries[key] = e
-	} else {
-		c.hits++
-	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		e.val, e.err = compute()
-	})
-	return e.val, e.err
+	return c.DoCtx(context.Background(), key, func(context.Context) (any, error) { return compute() })
 }
 
-// Len reports the number of distinct keys computed or in flight.
+// DoCtx is Do with cancellation: ctx covers this caller's wait, and compute
+// receives a context that is canceled once every waiter for the key has
+// abandoned it (so orphaned work stops at its next cancellation check). When
+// ctx ends first, DoCtx returns ctx.Err() immediately; the computation keeps
+// running only while someone still wants it. Results that are context
+// cancellations — and computations that panic (the panic is re-raised on
+// every waiter) — are not retained, so one canceled request cannot poison
+// the key for the next: a caller whose own ctx is still live never observes
+// another caller's cancellation, it recomputes instead.
+func (c *Cache) DoCtx(ctx context.Context, key string, compute func(ctx context.Context) (any, error)) (any, error) {
+	for {
+		v, err, retry := c.attempt(ctx, key, compute)
+		if !retry {
+			return v, err
+		}
+		// The entry this caller waited on was canceled out from under it
+		// (its other waiters timed out, or it was invalidated mid-flight)
+		// while this caller's ctx is still live: try again on a fresh entry.
+	}
+}
+
+// attempt is one pass of DoCtx: serve a hit, join an in-flight entry, or
+// start a computation. retry reports that the awaited computation was
+// canceled while the caller's own ctx is still live.
+func (c *Cache) attempt(ctx context.Context, key string, compute func(ctx context.Context) (any, error)) (v any, err error, retry bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok && e.computed && !e.expiry.IsZero() && !c.now().Before(e.expiry) {
+		c.removeLocked(e)
+		c.expirations++
+		ok = false
+	}
+	if ok {
+		c.hits++
+		if e.computed {
+			e.freq++
+			c.lru.MoveToFront(e.elem)
+			v, err := e.val, e.err
+			c.mu.Unlock()
+			return v, err, false
+		}
+		// In flight: join as a waiter.
+		e.waiters++
+		done := e.done
+		c.mu.Unlock()
+		select {
+		case <-done:
+			return c.claim(ctx, e)
+		case <-ctx.Done():
+			c.abandon(e)
+			return nil, ctx.Err(), false
+		}
+	}
+	// Miss: start the computation on its own goroutine under a context tied
+	// to the waiter refcount, and wait like everyone else.
+	c.misses++
+	c.inflight++
+	cctx, cancel := context.WithCancel(context.Background())
+	e = &cacheEntry{key: key, done: make(chan struct{}), cancel: cancel, cctx: cctx, waiters: 1, freq: 1}
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(e)
+	c.evictLocked()
+	c.mu.Unlock()
+	go func() {
+		defer func() {
+			// A compute panic is captured here (finish has not run yet) and
+			// re-raised on every waiter's goroutine by claim.
+			if r := recover(); r != nil {
+				c.finish(e, nil, nil, r)
+			}
+		}()
+		v, err := compute(cctx)
+		c.finish(e, v, err, nil)
+	}()
+	select {
+	case <-e.done:
+		return c.claim(ctx, e)
+	case <-ctx.Done():
+		c.abandon(e)
+		return nil, ctx.Err(), false
+	}
+}
+
+// claim reads a finished entry's result on behalf of one waiter, re-raising
+// a computation panic on the waiter's goroutine. A computation that was
+// canceled (all other waiters left, or mid-flight invalidation) while this
+// waiter's own ctx is still live reports retry instead of surfacing someone
+// else's cancellation.
+func (c *Cache) claim(ctx context.Context, e *cacheEntry) (any, error, bool) {
+	c.mu.Lock()
+	e.waiters--
+	if e.panicVal != nil {
+		c.mu.Unlock()
+		panic(e.panicVal)
+	}
+	if canceledErr(e.err) && e.cctx.Err() != nil && ctx.Err() == nil {
+		c.mu.Unlock()
+		return nil, nil, true
+	}
+	e.freq++
+	v, err := e.val, e.err
+	c.mu.Unlock()
+	return v, err, false
+}
+
+// canceledErr reports whether err is a context cancellation.
+func canceledErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// abandon drops one waiter; when the last waiter of an unfinished entry
+// leaves, the computation's context is canceled so the work can stop.
+func (c *Cache) abandon(e *cacheEntry) {
+	c.mu.Lock()
+	e.waiters--
+	if e.waiters == 0 && !e.computed {
+		e.cancel()
+	}
+	c.mu.Unlock()
+}
+
+// finish publishes a computation's outcome and decides retention: context
+// cancellations and panics are dropped (next caller recomputes), anything
+// else stays resident, TTL-stamped when configured. The entry may have been
+// invalidated mid-flight, in which case a newer entry owns the key and this
+// one is not re-inserted.
+func (c *Cache) finish(e *cacheEntry, v any, err error, panicVal any) {
+	c.mu.Lock()
+	e.val, e.err, e.panicVal = v, err, panicVal
+	e.computed = true
+	c.inflight--
+	e.cancel()
+	if cur := c.entries[e.key]; cur == e {
+		if panicVal != nil || canceledErr(err) {
+			c.removeLocked(e)
+		} else if c.cfg.TTL > 0 {
+			e.expiry = c.now().Add(c.cfg.TTL)
+		}
+	}
+	close(e.done)
+	c.mu.Unlock()
+}
+
+// evictLocked enforces the entry budget: sample up to evictScan computed
+// entries from the recency tail, evict the least-frequently-hit one and
+// halve the frequency of the spared rest. In-flight entries are skipped —
+// someone is waiting on them. Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	if c.cfg.MaxEntries <= 0 {
+		return
+	}
+	for len(c.entries) > c.cfg.MaxEntries {
+		var victim *cacheEntry
+		sample := make([]*cacheEntry, 0, evictScan)
+		for el := c.lru.Back(); el != nil && len(sample) < evictScan; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			if !e.computed {
+				continue
+			}
+			sample = append(sample, e)
+			if victim == nil || e.freq < victim.freq {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything resident is in flight; over-budget transiently
+		}
+		for _, e := range sample {
+			if e != victim && e.freq > 1 {
+				e.freq /= 2
+			}
+		}
+		c.removeLocked(victim)
+		c.evictions++
+	}
+}
+
+// removeLocked unlinks an entry from the map and recency list; it is a no-op
+// for an entry already superseded or removed. Callers hold c.mu.
+func (c *Cache) removeLocked(e *cacheEntry) {
+	if cur := c.entries[e.key]; cur == e {
+		delete(c.entries, e.key)
+	}
+	c.lru.Remove(e.elem)
+}
+
+// Invalidate drops the entry for key, reporting whether one was resident.
+// An in-flight computation is canceled and its result is not retained;
+// current waiters still receive whatever it returns.
+func (c *Cache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.invalidateLocked(e)
+	return true
+}
+
+// InvalidateFunc drops every resident entry whose key satisfies pred and
+// returns how many were dropped — the hook a platform/registry epoch bump
+// uses to invalidate dependent keys.
+func (c *Cache) InvalidateFunc(pred func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var doomed []*cacheEntry
+	for key, e := range c.entries {
+		if pred(key) {
+			doomed = append(doomed, e)
+		}
+	}
+	for _, e := range doomed {
+		c.invalidateLocked(e)
+	}
+	return len(doomed)
+}
+
+// invalidateLocked removes one entry, canceling it if still computing.
+// Callers hold c.mu.
+func (c *Cache) invalidateLocked(e *cacheEntry) {
+	c.removeLocked(e)
+	c.invalidations++
+	if !e.computed {
+		e.cancel()
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Expirations:   c.expirations,
+		Invalidations: c.invalidations,
+		Size:          len(c.entries),
+		InFlight:      c.inflight,
+	}
+}
+
+// Len reports the number of resident keys (computed or in flight).
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
 
-// Hits reports how many Do calls were served from the cache.
+// Hits reports how many Do/DoCtx calls were served by an existing entry.
 func (c *Cache) Hits() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()

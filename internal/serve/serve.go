@@ -1,30 +1,45 @@
-// Package serve implements the cxlserve HTTP API (DESIGN.md §10): a query
-// daemon over the structured-results core. Every response is a
+// Package serve implements the cxlserve HTTP API (DESIGN.md §10–§11): a
+// query daemon over the structured-results core. Every response is a
 // results.Dataset rendered by a pluggable emitter, and every computation
 // flows through the process-wide memo caches — the experiment dataset cache
 // and the scenario cell cache — so concurrent requests for the same result
 // share one evaluation (single-flight) and repeats are free.
+//
+// The serving path is hardened for sustained mixed load: compute endpoints
+// pass an admission gate (a bounded in-flight semaphore with a small wait
+// queue; excess load is shed with 429/503 + Retry-After, never a hung
+// connection), every request carries a context deadline (the server's
+// -timeout flag, lowerable per request with timeout=) whose expiry cancels
+// in-flight sweep work, and a draining server rejects new compute work
+// while in-flight requests finish.
 //
 // Endpoints (all GET):
 //
 //	/v1/experiments                         registry listing (JSON)
 //	/v1/run?id=fig3&format=json             one experiment, emitted
 //	/v1/scenario?spec=dlrm/policy=cxl:63    one scenario cell, emitted
+//	/metrics                                cache/admission/latency counters
+//	/healthz                                liveness ("ok", or 503 draining)
 //
 // Shared query parameters on /v1/run and /v1/scenario: format (text|json|
 // csv, default json — it is a query daemon), platform, quick, fastwarm,
-// seed. Request knobs override the server's base options; the sweep worker
-// count stays a server-side setting so clients cannot oversubscribe the
-// host.
+// seed, timeout. Request knobs override the server's base options; the
+// sweep worker count stays a server-side setting so clients cannot
+// oversubscribe the host, and a request timeout can only lower the server's
+// deadline, never raise it.
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"cxlmem/internal/experiments"
 	"cxlmem/internal/results"
@@ -36,27 +51,82 @@ import (
 // machine-readable form a query daemon exists to serve.
 const defaultFormat = "json"
 
-// Handler returns the cxlserve HTTP API. base supplies the option defaults
-// every request starts from (quick mode for a staging daemon, a pinned seed,
-// the sweep worker budget); requests may override the result-shaping knobs
-// but not the worker count.
-func Handler(base experiments.Options) http.Handler {
+// retryAfter is the Retry-After value (seconds) attached to every shed
+// response: overload here is compute-bound and drains quickly once the
+// in-flight requests complete.
+const retryAfter = "1"
+
+// Config tunes a Server. The zero value (no admission bound, no deadline)
+// reproduces the PR-5 prototype behavior.
+type Config struct {
+	// Base supplies the option defaults every request starts from (quick
+	// mode for a staging daemon, a pinned seed, the sweep worker budget).
+	Base experiments.Options
+	// Timeout bounds each compute request's evaluation when positive; a
+	// request's timeout= parameter may lower it but never raise it. An
+	// expired deadline cancels the request's in-flight sweep work (unless
+	// another request waits on the same cached key) and answers 504.
+	Timeout time.Duration
+	// MaxInflight caps concurrently admitted compute requests (/v1/run,
+	// /v1/scenario) when positive; 0 admits everything.
+	MaxInflight int
+	// MaxQueue is how many requests beyond MaxInflight may wait for a slot
+	// before new arrivals are shed with 429. Waiting requests that hit
+	// their deadline are shed with 503. Only meaningful with MaxInflight.
+	MaxQueue int
+}
+
+// Server is the hardened cxlserve request handler: admission gate, request
+// deadlines, metrics. Build one with NewServer, serve its Handler, and call
+// Drain when shutting down.
+type Server struct {
+	cfg     Config
+	sem     chan struct{} // admission slots; nil = unbounded
+	drainCh chan struct{} // closed by Drain
+	metrics *serverMetrics
+}
+
+// NewServer builds a Server over the given config.
+func NewServer(cfg Config) *Server {
+	s := &Server{cfg: cfg, drainCh: make(chan struct{}), metrics: newServerMetrics()}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
+}
+
+// Handler returns the cxlserve HTTP API over this server's gates.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	s := &server{base: base}
-	mux.HandleFunc("/v1/experiments", s.experiments)
-	mux.HandleFunc("/v1/run", s.run)
-	mux.HandleFunc("/v1/scenario", s.scenario)
+	mux.HandleFunc("/v1/experiments", s.instrument("/v1/experiments", s.experiments))
+	mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.admit(s.run)))
+	mux.HandleFunc("/v1/scenario", s.instrument("/v1/scenario", s.admit(s.scenario)))
+	mux.HandleFunc("/metrics", s.metricsHandler)
+	mux.HandleFunc("/healthz", s.healthz)
 	return recoverMiddleware(mux)
 }
 
-// server carries the base options shared by every request.
-type server struct {
-	base experiments.Options
+// Handler returns the cxlserve HTTP API with no admission bound or deadline
+// — the PR-5 construction, kept for callers that harden elsewhere.
+func Handler(base experiments.Options) http.Handler {
+	return NewServer(Config{Base: base}).Handler()
+}
+
+// Drain moves the server into shutdown mode: /healthz turns 503 so load
+// balancers stop routing here, queued compute requests are released with a
+// shed response, and new compute requests are shed immediately. In-flight
+// requests run to completion — pair Drain with http.Server.Shutdown.
+func (s *Server) Drain() {
+	if s.metrics.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
 }
 
 // recoverMiddleware converts a panicking handler (experiment drivers treat
 // internal failures as programming errors) into a 500 instead of killing
-// the daemon's connection goroutine silently.
+// the daemon's connection goroutine silently. The instrument wrapper
+// already recovers compute handlers — this is the backstop for everything
+// else.
 func recoverMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
@@ -66,6 +136,73 @@ func recoverMiddleware(next http.Handler) http.Handler {
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// instrument wraps a handler with per-endpoint telemetry: status capture,
+// latency observation, and panic recovery (so the recorded status is the
+// 500 actually sent).
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				if !rec.wrote {
+					http.Error(rec, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+				}
+			}
+			s.metrics.observe(endpoint, rec.status(), time.Since(start))
+		}()
+		h(rec, r)
+	}
+}
+
+// admit is the load-shedding gate in front of the compute endpoints. A free
+// slot admits immediately; otherwise the request waits in a bounded queue
+// until a slot frees, its deadline fires (503), or the queue is already
+// full on arrival (429). A draining server sheds everything. Shed responses
+// always carry Retry-After and are counted.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.metrics.draining.Load() {
+			s.shed(w, http.StatusServiceUnavailable, "draining: retry against another replica")
+			return
+		}
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}: // fast path: free slot
+			default:
+				if int(s.metrics.queued.Add(1)) > s.cfg.MaxQueue {
+					s.metrics.queued.Add(-1)
+					s.shed(w, http.StatusTooManyRequests, "overloaded: in-flight and queue budgets exhausted")
+					return
+				}
+				select {
+				case s.sem <- struct{}{}:
+					s.metrics.queued.Add(-1)
+				case <-r.Context().Done():
+					s.metrics.queued.Add(-1)
+					s.shed(w, http.StatusServiceUnavailable, "overloaded: gave up waiting for an admission slot")
+					return
+				case <-s.drainCh:
+					s.metrics.queued.Add(-1)
+					s.shed(w, http.StatusServiceUnavailable, "draining: retry against another replica")
+					return
+				}
+			}
+			defer func() { <-s.sem }()
+		}
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		h(w, r)
+	}
+}
+
+// shed writes one load-shedding response with its Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, status int, msg string) {
+	s.metrics.shed.Add(1)
+	w.Header().Set("Retry-After", retryAfter)
+	http.Error(w, msg, status)
 }
 
 // experimentInfo is one row of the /v1/experiments listing.
@@ -82,7 +219,7 @@ type catalog struct {
 	Platforms   []string         `json:"platforms"`
 }
 
-func (s *server) experiments(w http.ResponseWriter, r *http.Request) {
+func (s *Server) experiments(w http.ResponseWriter, r *http.Request) {
 	if !methodGet(w, r) {
 		return
 	}
@@ -90,13 +227,14 @@ func (s *server) experiments(w http.ResponseWriter, r *http.Request) {
 	for _, e := range experiments.All() {
 		c.Experiments = append(c.Experiments, experimentInfo{ID: e.ID, Desc: e.Desc})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(c)
+	writeBuffered(w, "application/json", func(wr io.Writer) error {
+		enc := json.NewEncoder(wr)
+		enc.SetIndent("", "  ")
+		return enc.Encode(c)
+	})
 }
 
-func (s *server) run(w http.ResponseWriter, r *http.Request) {
+func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 	if !methodGet(w, r) {
 		return
 	}
@@ -109,24 +247,21 @@ func (s *server) run(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	opts.Ctx = ctx
 	d, err := experiments.RunDataset(id, opts)
 	if err != nil {
-		status := http.StatusBadRequest
-		switch {
-		case strings.Contains(err.Error(), "unknown id"):
-			status = http.StatusNotFound
-		case strings.Contains(err.Error(), "panicked"):
-			// A recovered driver panic is an internal failure, not a bad
-			// request.
-			status = http.StatusInternalServerError
-		}
-		http.Error(w, err.Error(), status)
+		writeError(w, err)
 		return
 	}
 	emit(w, em, d)
 }
 
-func (s *server) scenario(w http.ResponseWriter, r *http.Request) {
+func (s *Server) scenario(w http.ResponseWriter, r *http.Request) {
 	if !methodGet(w, r) {
 		return
 	}
@@ -139,6 +274,12 @@ func (s *server) scenario(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	opts.Ctx = ctx
 	sc, err := workloads.ParseScenario(spec)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -146,16 +287,61 @@ func (s *server) scenario(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := experiments.ScenarioResult(opts, sc)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, err)
 		return
 	}
 	emit(w, em, d)
 }
 
+// writeError maps a dispatch failure onto its HTTP status through the typed
+// sentinels exported by internal/experiments — 404 for unknown IDs, 500 for
+// recovered driver panics, 504 for an expired request deadline — with 400
+// (a bad request: spec, platform, parameter) as the default.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, experiments.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, experiments.ErrInternal):
+		status = http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		// The request's deadline fired mid-evaluation; the work was
+		// canceled (or survives for another waiter) and nothing was cached.
+		w.Header().Set("Retry-After", retryAfter)
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is best-effort.
+		status = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// requestContext derives the request's evaluation context: the server
+// deadline, lowered (never raised) by a timeout= parameter. On a malformed
+// parameter it writes a 400 and returns ok=false.
+func (s *Server) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	limit := s.cfg.Timeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			http.Error(w, fmt.Sprintf("bad timeout parameter %q (want a positive duration, e.g. 500ms)", v), http.StatusBadRequest)
+			return nil, nil, false
+		}
+		if limit == 0 || d < limit {
+			limit = d
+		}
+	}
+	if limit <= 0 {
+		return r.Context(), func() {}, true
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), limit)
+	return ctx, cancel, true
+}
+
 // requestOptions resolves the request's option overrides and emitter on top
 // of the server base; on failure it writes a 400 and returns ok=false.
-func (s *server) requestOptions(w http.ResponseWriter, r *http.Request) (experiments.Options, results.Emitter, bool) {
-	opts := s.base
+func (s *Server) requestOptions(w http.ResponseWriter, r *http.Request) (experiments.Options, results.Emitter, bool) {
+	opts := s.cfg.Base
 	q := r.URL.Query()
 	if v := q.Get("platform"); v != "" {
 		// Platform names are lowercase in the registry; accept the same
@@ -194,19 +380,25 @@ func (s *server) requestOptions(w http.ResponseWriter, r *http.Request) (experim
 	return opts, em, true
 }
 
-// emit renders the dataset through the chosen emitter and writes it with
-// its content type. The rendering is buffered first so an emitter failure
-// (e.g. a NaN cell the JSON encoder rejects) becomes a 500 instead of a
-// silent 200 with an empty body.
-func emit(w http.ResponseWriter, em results.Emitter, d *results.Dataset) {
-	// The dataset is shared with the memo cache; emitters never mutate it.
-	var b strings.Builder
-	if err := em.Emit(&b, d); err != nil {
+// writeBuffered renders through render into a buffer first, so a rendering
+// failure becomes a 500 instead of a silent 200 with a partial body, and
+// the Content-Type is only set once the bytes exist.
+func writeBuffered(w http.ResponseWriter, contentType string, render func(io.Writer) error) {
+	var b bytes.Buffer
+	if err := render(&b); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", em.ContentType())
-	_, _ = io.WriteString(w, b.String())
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(b.Bytes())
+}
+
+// emit renders the dataset through the chosen emitter and writes it with
+// its content type, via the buffered path (e.g. a NaN cell the JSON encoder
+// rejects must 500, not 200-empty).
+func emit(w http.ResponseWriter, em results.Emitter, d *results.Dataset) {
+	// The dataset is shared with the memo cache; emitters never mutate it.
+	writeBuffered(w, em.ContentType(), func(wr io.Writer) error { return em.Emit(wr, d) })
 }
 
 // methodGet rejects non-GET requests with 405.

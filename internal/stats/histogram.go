@@ -1,0 +1,103 @@
+// Fixed-bucket histograms for the serving layer: cxlserve records
+// per-endpoint request latencies into geometric buckets and serves p50/p99
+// from /metrics without retaining raw samples. Quantiles interpolate within
+// the winning bucket, so accuracy is bounded by the bucket growth factor
+// (×2 for LatencyBounds: a quantile is within ~2× of the true value, which
+// is what a load-shedding gate needs — the raw-sample Percentile helpers
+// remain the precise tool for offline analysis).
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram counts observations in fixed buckets with ascending upper
+// bounds; values above the last bound land in an overflow bucket. It is not
+// safe for concurrent use — callers that share one (the cxlserve metrics
+// registry) guard it with their own lock.
+type Histogram struct {
+	bounds []float64 // ascending inclusive upper bounds
+	counts []uint64  // len(bounds)+1; last = overflow
+	count  uint64
+	sum    float64
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds.
+// It panics on an empty or unsorted bound list — layouts are compile-time
+// decisions.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: NewHistogram with no bounds")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("stats: NewHistogram bounds not ascending: %v", bounds))
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// LatencyBounds is the request-latency layout used by cxlserve: geometric
+// ×2 buckets from 10 µs to ~84 s (in seconds), spanning a cache-hit JSON
+// response through a cold full-fidelity regeneration.
+func LatencyBounds() []float64 {
+	bounds := make([]float64, 24)
+	v := 10e-6
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Quantile returns the q-th quantile (q in [0, 1]) estimated by linear
+// interpolation inside the winning bucket; the overflow bucket reports the
+// last bound. An empty histogram reports 0. It panics on q out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range [0,1]", q))
+	}
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(h.counts)-1 {
+			if i == len(h.counts)-1 {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.6, 3, 3, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if want := 0.5 + 1.5 + 1.6 + 9 + 100; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", h.Sum(), want)
+	}
+	// Overflow values report the last bound.
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) = %v, want 8 (overflow reports last bound)", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	vals := []float64{0.0001, 0.0002, 0.001, 0.002, 0.01, 0.05, 0.1, 0.5, 1, 2}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	prev := -1.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v (not monotone)", q, got, prev)
+		}
+		prev = got
+	}
+	// The median of the sample is ~10ms; the estimate must land within the
+	// winning x2 bucket.
+	if med := h.Quantile(0.5); med < 0.005 || med > 0.04 {
+		t.Errorf("median estimate %v implausible for sample around 10ms", med)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("empty bounds", func() { NewHistogram(nil) })
+	expectPanic("unsorted bounds", func() { NewHistogram([]float64{2, 1}) })
+	expectPanic("bad quantile", func() { NewHistogram([]float64{1}).Quantile(1.5) })
+}
+
+func TestLatencyBounds(t *testing.T) {
+	b := LatencyBounds()
+	if len(b) != 24 || b[0] != 10e-6 {
+		t.Fatalf("bounds = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if math.Abs(b[i]/b[i-1]-2) > 1e-9 {
+			t.Fatalf("bounds not geometric x2 at %d: %v", i, b)
+		}
+	}
+}
