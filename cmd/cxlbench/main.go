@@ -9,6 +9,7 @@
 //	cxlbench -run fig13 -quick        # reduced sample counts
 //	cxlbench -run all -parallel 4     # bound the sweep worker pool
 //	cxlbench -run fig5 -fastwarm      # convergence-based cache warmup
+//	cxlbench -run fig5 -fidelity auto # analytic estimate off-knee, exact at the knee
 //	cxlbench -run fig13 -cpuprofile p # write a pprof CPU profile
 //
 // Beyond the paper's fixed figures, -scenario evaluates arbitrary cells of
@@ -64,6 +65,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all CPUs)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
 	fastwarm := flag.Bool("fastwarm", false, "convergence-based cache warmup (faster; last-digit shifts on fig5/ablation-llc)")
+	fidelity := flag.String("fidelity", "", "measurement tier for fig5/ablation-llc: exact (default), auto, fast")
 	format := flag.String("format", "", "output format for -run/-scenario: text (default), json, csv")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -80,7 +82,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := cxlmem.RunConfig{Quick: *quick, Parallel: *parallel, Seed: *seed, FastWarmup: *fastwarm}
+	cfg := cxlmem.RunConfig{Quick: *quick, Parallel: *parallel, Seed: *seed, FastWarmup: *fastwarm, Fidelity: *fidelity}
 	if *platform != "" && *platform != "list" {
 		cfg.Platform = *platform
 	}

@@ -63,6 +63,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 1024, "entry budget per memo cache, evicted cold-first (0 = unbounded)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "expire cached results this long after computation (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (bypasses admission control; trusted networks only)")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -84,6 +85,7 @@ func main() {
 		Timeout:     *timeout,
 		MaxInflight: *maxInflight,
 		MaxQueue:    *maxQueue,
+		EnablePprof: *pprofFlag,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -134,6 +134,13 @@ type RunConfig struct {
 	// by default (a spec's own platform= key wins); empty keeps the
 	// Table-1 default. The paper's fixed figures always run on Table 1.
 	Platform string
+	// Fidelity selects the measurement tier of the cache-simulating
+	// experiments (fig5, ablation-llc): "exact" (default) replays every
+	// operating point through the cache simulator, "fast" uses the CHE
+	// analytic estimate everywhere, and "auto" estimates off-knee points
+	// and simulates only near a capacity knee. Experiments without a
+	// simulated hot path ignore it.
+	Fidelity string
 }
 
 // RunExperiment regenerates the table or figure with the given ID at full
@@ -157,6 +164,9 @@ func (cfg RunConfig) options() experiments.Options {
 	// flag/API accepts the same spellings as the platform= spec key (and the
 	// memo cell key never forks on case).
 	opts.Platform = strings.ToLower(cfg.Platform)
+	// Lowercase the fidelity the same way; a bad name is rejected by the
+	// experiment layer's Validate with a descriptive error.
+	opts.Fidelity = experiments.Fidelity(strings.ToLower(cfg.Fidelity))
 	if cfg.Seed != 0 {
 		opts.Seed = cfg.Seed
 	}

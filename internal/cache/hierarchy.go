@@ -65,6 +65,10 @@ type Hierarchy struct {
 	LLCHits, LLCMisses uint64
 
 	arena []uint64 // slab arena shared by every cache; see materializeAll
+
+	// Reusable counting-sort scratch for ReadStreamSharded (stream.go).
+	shardBuf []uint64
+	shardOff []int32
 }
 
 // materializeAll backs every not-yet-materialized cache with a slab carved
@@ -205,6 +209,30 @@ func (h *Hierarchy) EffectiveLLCBytes(home Home) int64 {
 	return total / int64(h.cfg.SNCNodes)
 }
 
+// PrivateLines returns a core's L1 and L2 capacities in cache lines, from
+// the built caches' actual geometry (set counts are rounded to powers of
+// two, so this can differ from the configured byte sizes). The analytic
+// fidelity tier (internal/mlc) sizes its level-fraction model from these.
+func (h *Hierarchy) PrivateLines(core int) (l1Lines, l2Lines int) {
+	if core < 0 || core >= h.cfg.Cores {
+		panic(fmt.Sprintf("cache: core %d out of range", core))
+	}
+	return h.l1[core].Lines(), h.l2[core].Lines()
+}
+
+// EffectiveLLCLines is EffectiveLLCBytes in cache lines, measured from the
+// built slices' actual geometry rather than the configured byte sizes.
+func (h *Hierarchy) EffectiveLLCLines(home Home) int64 {
+	total := int64(h.slices[0].Lines()) * int64(h.cfg.Cores)
+	if h.cfg.SNCNodes == 1 {
+		return total
+	}
+	if home.Kind == HomeRemote && h.cfg.CXLBreaksIsolation {
+		return total
+	}
+	return total / int64(h.cfg.SNCNodes)
+}
+
 // Access performs one load or store by core to addr (a byte address) whose
 // page is homed as given. It returns the level that satisfied the access.
 //
@@ -258,118 +286,10 @@ func (h *Hierarchy) ReadStream(core int, addrs []uint64, home Home, counts *Leve
 	if core < 0 || core >= h.cfg.Cores {
 		panic(fmt.Sprintf("cache: core %d out of range", core))
 	}
-	l1, l2 := h.l1[core], h.l2[core]
 	h.materializeAll()
-	rt := h.routeFor(home)
-	slices := h.slices
-	homeBits := packWord(0, home, false)
-	l1w, l1fp, l1ways, l1shift := l1.words, l1.fps, l1.ways, l1.shift
-	l2w, l2fp, l2ways, l2shift := l2.words, l2.fps, l2.ways, l2.shift
-	var l1Hit, l1Miss, l1Evict, l2Hit, l2Miss, l2Evict uint64
-	var nL1, nL2, nLLC, nMem uint64
-	for _, addr := range addrs {
-		line := addr / LineBytes
-		ptag := line + 1
-		hash := line * fibMul
-		nib := nibbleOf(hash)
-
-		// L1 probe (hash>>64 is 0 in Go, so a single-set cache needs no
-		// special case).
-		s1 := int(hash >> l1shift)
-		b1 := s1 * l1ways
-		set1 := l1w[b1 : b1+l1ways]
-		if i := findIn(set1, l1fp[s1], nib, ptag); i >= 0 {
-			l1.promoteAt(set1, s1, i, nib)
-			l1Hit++
-			nL1++
-			continue
-		}
-		l1Miss++
-
-		// L2 probe.
-		s2 := int(hash >> l2shift)
-		b2 := s2 * l2ways
-		set2 := l2w[b2 : b2+l2ways]
-		if i := findIn(set2, l2fp[s2], nib, ptag); i >= 0 {
-			l2.promoteAt(set2, s2, i, nib)
-			l2Hit++
-			// Fill L1; its victims drop silently (L2 is inclusive of L1).
-			if l1.pushSlot(set1, s1, ptag|homeBits, nib) != 0 {
-				l1Evict++
-			}
-			nL2++
-			continue
-		}
-		l2Miss++
-
-		// LLC probe: the combined probe-promote-evict step. A victim-cache
-		// hit removes the line (it is promoted into L1/L2 below, carrying
-		// its dirty bit); a miss fills from memory and never reads the
-		// slice's tag words.
-		sc := slices[rt.sliceHash(hash)]
-		s3 := int(hash >> sc.shift)
-		b3 := s3 * sc.ways
-		set3 := sc.words[b3 : b3+sc.ways]
-		var dirtyBit uint64
-		if i := findIn(set3, sc.fps[s3], nib, ptag); i >= 0 {
-			dirtyBit = set3[i] & dirtyFlag
-			sc.removeSlot(set3, s3, i)
-			sc.Hits++
-			h.LLCHits++
-			nLLC++
-		} else {
-			sc.Misses++
-			h.LLCMisses++
-			nMem++
-		}
-
-		// Fill the private levels; spill the L2 victim to its routed slice.
-		fill := ptag | homeBits | dirtyBit
-		if l1.pushSlot(set1, s1, fill, nib) != 0 {
-			l1Evict++
-		}
-		victim := l2.pushSlot(set2, s2, fill, nib)
-		if victim == 0 {
-			continue
-		}
-		l2Evict++
-		vline := victim&ptagMask - 1
-		vhash := vline * fibMul
-		vnib := nibbleOf(vhash)
-		var vc *Cache
-		if victim&homeBitsMask == homeBits {
-			// The common mlc case: the victim shares the stream's home, so
-			// its routing is already resolved.
-			vc = slices[rt.sliceHash(vhash)]
-		} else {
-			vc = slices[h.sliceFor(vline*LineBytes, unpackHome(victim))]
-		}
-		vs := int(vhash >> vc.shift)
-		vb := vs * vc.ways
-		vset := vc.words[vb : vb+vc.ways]
-		// Spill with full Insert semantics: another core\'s copy of the line
-		// may already sit in the slice, in which case it is refreshed with
-		// the dirty bits merged and the resident home preserved.
-		if vp := findIn(vset, vc.fps[vs], vnib, vline+1); vp >= 0 {
-			w := vc.promoteAt(vset, vs, vp, vnib)
-			vset[int(vc.fronts[vs])] = w | victim&dirtyFlag
-			continue
-		}
-		if vc.pushSlot(vset, vs, victim, vnib) != 0 {
-			vc.Evictions++
-		}
-	}
-
-	l1.Hits += l1Hit
-	l1.Misses += l1Miss
-	l1.Evictions += l1Evict
-	l2.Hits += l2Hit
-	l2.Misses += l2Miss
-	l2.Evictions += l2Evict
-	counts[L1] += nL1
-	counts[L2] += nL2
-	counts[LLC] += nLLC
-	counts[Memory] += nMem
+	st := newStreamCounters(len(h.slices))
+	h.streamInto(core, addrs, h.routeFor(home), packWord(0, home, false), st)
+	h.flushStream(core, st, counts)
 }
 
 // fillPrivate installs a line into the core's L1 and L2, spilling the L2

@@ -3,7 +3,6 @@ package experiments
 import (
 	"cxlmem/internal/core"
 	"cxlmem/internal/mem"
-	"cxlmem/internal/mlc"
 	"cxlmem/internal/results"
 	"cxlmem/internal/stats"
 	"cxlmem/internal/telemetry"
@@ -19,6 +18,7 @@ func init() {
 	register("ablation-llc", "disable the SNC LLC-isolation break for CXL lines (isolates O6)", runAblationLLC)
 	register("ablation-coherence", "disable remote-directory burst congestion (isolates O3)", runAblationCoherence)
 	register("ablation-estimator", "Caption with the full counter set vs IPC only", runAblationEstimator)
+	markFidelity("ablation-llc")
 }
 
 func runAblationLLC(o Options) *results.Dataset {
@@ -28,7 +28,7 @@ func runAblationLLC(o Options) *results.Dataset {
 		cfg := topo.DefaultConfig()
 		cfg.CXLBreaksSNCIsolation = i == 0
 		sys := topo.NewSystem(cfg)
-		return mlc.BufferLatencyWarm(sys, sys.Path("CXL-A"), 32<<20, samples, o.Seed+3, o.warmup()).Nanoseconds()
+		return o.bufferLatencyNs(sys, sys.Path("CXL-A"), 32<<20, samples)
 	})
 	withBreak, without := lats[0], lats[1]
 

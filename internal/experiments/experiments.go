@@ -55,6 +55,11 @@ type Options struct {
 	// Table-1 default. The paper's fixed figures always run on Table 1 and
 	// ignore it.
 	Platform string
+	// Fidelity selects the measurement tier of the cache-simulating
+	// experiments (fig5, ablation-llc): exact simulation (default), the CHE
+	// analytic estimate (fast), or analytic-off-knee/exact-at-knee (auto).
+	// Experiments without a simulated hot path ignore it.
+	Fidelity Fidelity
 	// Ctx, when non-nil, bounds the run: the sweep engine stops claiming
 	// operating points once it is done and the dispatchers return the
 	// context's error instead of a dataset. It is excluded from the memo
@@ -90,8 +95,8 @@ func (o Options) scale(n int) int {
 // byte-identical for every worker count (the serial-vs-parallel equivalence
 // test pins it), so a cached value is valid across fan-outs.
 func (o Options) fingerprint() string {
-	return fmt.Sprintf("quick=%t|fastwarm=%t|seed=%d|platform=%s",
-		o.Quick, o.FastWarmup, o.Seed, o.Platform)
+	return fmt.Sprintf("quick=%t|fastwarm=%t|seed=%d|platform=%s|fidelity=%s",
+		o.Quick, o.FastWarmup, o.Seed, o.Platform, o.fidelity())
 }
 
 // Table is the legacy pre-formatted rendering path: rows of already
@@ -167,6 +172,11 @@ type Experiment struct {
 	// blanks the platform before caching and provenance-stamping — the wire
 	// form must never label Table-1 numbers with another machine.
 	UsesPlatform bool
+	// UsesFidelity marks drivers whose hot path consumes Options.Fidelity
+	// (the buffer-latency sweeps). For every other experiment RunDataset
+	// blanks the knob before caching and provenance-stamping, for the same
+	// reason UsesPlatform blanks Platform.
+	UsesFidelity bool
 }
 
 var registry = map[string]Experiment{}
@@ -321,6 +331,12 @@ func RunDataset(id string, o Options) (*results.Dataset, error) {
 	if !e.UsesPlatform {
 		o.Platform = ""
 	}
+	// Same honesty rule for the fidelity tier: an experiment that never
+	// simulates the buffer-latency hot path produces identical bytes at any
+	// fidelity, so it gets one cache entry and an unlabeled provenance.
+	if !e.UsesFidelity {
+		o.Fidelity = ""
+	}
 	v, err := datasetCache.DoCtx(o.context(), "experiment|"+id+"|"+o.fingerprint(), func(cctx context.Context) (out any, err error) {
 		// A panicking driver must become an error, not a poisoned entry;
 		// recoverAsErr also turns sweep cancellation back into ctx.Err().
@@ -349,6 +365,7 @@ func newDataset(o Options, id, title string, cols ...results.Column) *results.Da
 		Quick:        o.Quick,
 		FastWarmup:   o.FastWarmup,
 		Seed:         o.Seed,
+		Fidelity:     o.provFidelity(),
 	}
 	return d
 }

@@ -14,6 +14,7 @@ func init() {
 	register("fig4a", "MLC bandwidth efficiency across R/W mixes (Fig. 4a)", runFig4a)
 	register("fig4b", "memo bandwidth efficiency per instruction type (Fig. 4b)", runFig4b)
 	register("fig5", "SNC/LLC interaction: 32MB buffer latency (Fig. 5 / §4.3)", runFig5)
+	markFidelity("fig5")
 }
 
 func runTable1(o Options) *results.Dataset {
@@ -112,7 +113,7 @@ func runFig5(o Options) *results.Dataset {
 	devices := []string{"DDR5-L", "CXL-A"}
 	lats := sweepPoints(o, len(devices), func(i int) float64 {
 		sys := topo.NewSystem(topo.DefaultConfig()) // SNC on
-		return mlc.BufferLatencyWarm(sys, sys.Path(devices[i]), buf, samples, o.Seed+3, o.warmup()).Nanoseconds()
+		return o.bufferLatencyNs(sys, sys.Path(devices[i]), buf, samples)
 	})
 	ddr, cxl := lats[0], lats[1]
 

@@ -44,6 +44,9 @@ func (o Options) Validate() error {
 			return err
 		}
 	}
+	if _, err := ParseFidelity(string(o.Fidelity)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -115,6 +118,10 @@ func ScenarioResult(o Options, sc workloads.Scenario) (*results.Dataset, error) 
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
+	// Scenario cells never simulate the buffer-latency hot path, so the
+	// fidelity knob cannot shape them: blank it (post-validation) to keep
+	// one cell-cache entry and an unlabeled provenance.
+	o.Fidelity = ""
 	m, err := RunScenario(o, sc)
 	if err != nil {
 		return nil, err
@@ -153,6 +160,9 @@ func ScenarioDataset(o Options, id, title string, scs []workloads.Scenario) (*re
 
 // scenarioDatasetCached is ScenarioDataset against an explicit cell cache.
 func scenarioDatasetCached(cache *memo.Cache, o Options, id, title string, scs []workloads.Scenario) (*results.Dataset, error) {
+	// As in ScenarioResult: fidelity cannot shape scenario cells, so it
+	// must not fork their cache entries or label their provenance.
+	o.Fidelity = ""
 	type cell struct {
 		m   workloads.Metrics
 		err error

@@ -10,12 +10,18 @@
 //   - buffer latency: average latency of random accesses within a buffer of
 //     a chosen size, which exposes the SNC/LLC interaction of §4.3 (Fig. 5).
 //
-// The measurement loops are streamed: addresses are generated in batches and
-// driven through cache.Hierarchy.ReadStream, which accumulates a per-level
-// hit histogram; the average latency is computed once per level at the end.
-// Because every access at a level contributes the same integer
-// path.HitLatency, the histogram arithmetic is exactly the historical
-// per-access sum.
+// The measurement loops are streamed: addresses are generated in large
+// chunks and driven through cache.Hierarchy.ReadStreamSharded, which
+// partitions each chunk by set-index prefix, replays the shards (optionally
+// across StreamOptions.Workers goroutines), and accumulates a per-level hit
+// histogram; the average latency is computed once per level at the end.
+// Sharding is byte-identical to the serial stream for every worker count
+// (see internal/cache/stream.go), and because every access at a level
+// contributes the same integer path.HitLatency, the histogram arithmetic is
+// exactly the historical per-access sum.
+//
+// For far-from-knee operating points the analytic fast path (analytic.go)
+// replaces simulation entirely; see DESIGN.md §12.
 package mlc
 
 import (
@@ -27,9 +33,28 @@ import (
 	"cxlmem/internal/topo"
 )
 
-// batchLines is the streamed loops' address-batch size: large enough to
-// amortize the per-batch call, small enough to stay in L1 of the host.
-const batchLines = 4096
+// chunkLines is the streamed loops' address-chunk size. Chunks are the unit
+// the sharded stream engine partitions, so bigger is better — each shard's
+// subsequence grows proportionally, and with it the host-cache locality of
+// the shard replay — bounded here at 4 MB of addresses per chunk. Chunk
+// boundaries never change results (TestReadStreamShardedChunkingInvariant).
+const chunkLines = 512 << 10
+
+// StreamOptions tunes how the measurement loops drive the cache hierarchy.
+// The zero value reproduces the historical defaults. Every knob is
+// throughput-only: measured values are byte-identical for any setting.
+type StreamOptions struct {
+	// Warm selects BufferLatency's warmup policy (WarmupExact default).
+	Warm Warmup
+	// Workers bounds the sharded stream engine's concurrent shard workers;
+	// 0 uses every available CPU.
+	Workers int
+	// Chains is IdleLatency's independent pointer-chase chain count: the
+	// buffer splits into Chains disjoint Sattolo cycles chased round-robin,
+	// the loaded-latency shape real MLC measures with. 0 or 1 keeps the
+	// single fully-dependent chase (the idle-latency contract).
+	Chains int
+}
 
 // streamTotal converts a per-level hit histogram into the total simulated
 // latency — identical arithmetic to summing path.HitLatency per access,
@@ -49,6 +74,17 @@ func streamTotal(path *topo.Path, counts *cache.LevelCounts) sim.Time {
 // MLC's shuffled-pointer buffer — so in steady state essentially every
 // access misses the hierarchy and pays the full serial path latency.
 func IdleLatency(sys *topo.System, path *topo.Path, steps int, seed uint64) sim.Time {
+	return IdleLatencyOpt(sys, path, steps, seed, StreamOptions{})
+}
+
+// IdleLatencyOpt is IdleLatency with explicit StreamOptions. With Chains > 1
+// the buffer splits into Chains contiguous ranges, each shuffled into its own
+// Sattolo cycle and chased round-robin — the concurrent-chain loaded-latency
+// shape real MLC measures with. The chains touch disjoint lines, so the
+// steady-state miss behaviour (every access past the LLC) is unchanged; what
+// changes is that the address stream is known Chains steps ahead, which is
+// what lets the sharded engine batch it.
+func IdleLatencyOpt(sys *topo.System, path *topo.Path, steps int, seed uint64, o StreamOptions) sim.Time {
 	if steps <= 0 {
 		panic("mlc: non-positive step count")
 	}
@@ -56,31 +92,54 @@ func IdleLatency(sys *topo.System, path *topo.Path, steps int, seed uint64) sim.
 	home := sys.HomeFor(path, 0)
 	bufBytes := int64(2) * int64(hier.Config().Cores) * hier.Config().LLCSliceBytes
 	lines := int(bufBytes / cache.LineBytes)
+	chains := o.Chains
+	if chains <= 0 {
+		chains = 1
+	}
+	if chains > lines {
+		chains = lines
+	}
 
 	// Build the chase: next[i] is the line the load of line i points at.
-	// Sattolo's shuffle yields a single cycle covering the whole buffer, so
-	// the chase cannot trap itself in a short cache-resident loop.
+	// Each chain owns one contiguous range of the buffer shuffled into a
+	// single cycle (Sattolo), so no chain can trap itself in a short
+	// cache-resident loop. Chain 0 shuffles with the base RNG stream
+	// directly: at Chains <= 1 the permutation — and so the measurement —
+	// is bit-identical to the historical single-chain chase
+	// (TestIdleLatencyChainsOneMatchesSerial).
 	rng := sim.NewRng(seed)
 	next := make([]uint32, lines)
 	for i := range next {
 		next[i] = uint32(i)
 	}
-	for i := lines - 1; i > 0; i-- {
-		j := rng.Intn(i)
-		next[i], next[j] = next[j], next[i]
+	cursors := make([]uint32, chains)
+	for c := 0; c < chains; c++ {
+		base, end := c*lines/chains, (c+1)*lines/chains
+		cr := rng
+		if c > 0 {
+			cr = rng.Split()
+		}
+		for i := end - base - 1; i > 0; i-- {
+			j := cr.Intn(i)
+			next[base+i], next[base+j] = next[base+j], next[base+i]
+		}
+		cursors[c] = uint32(base)
 	}
 
 	var counts cache.LevelCounts
-	batch := make([]uint64, batchLines)
-	idx := uint32(0)
+	chunk := make([]uint64, min(steps, chunkLines))
+	t := 0
 	for remaining := steps; remaining > 0; {
-		n := min(remaining, batchLines)
-		b := batch[:n]
+		n := min(remaining, chunkLines)
+		b := chunk[:n]
 		for i := range b {
+			c := t % chains
+			idx := cursors[c]
 			b[i] = uint64(idx) * cache.LineBytes
-			idx = next[idx]
+			cursors[c] = next[idx]
+			t++
 		}
-		hier.ReadStream(0, b, home, &counts)
+		hier.ReadStreamSharded(0, b, home, &counts, o.Workers)
 		remaining -= n
 	}
 	return streamTotal(path, &counts) / sim.Time(steps)
@@ -116,11 +175,19 @@ const (
 // buffer fits the socket-wide LLC when homed on CXL memory but overflows a
 // single SNC node's slices when homed on local DDR. It uses WarmupExact.
 func BufferLatency(sys *topo.System, path *topo.Path, bufBytes int64, samples int, seed uint64) sim.Time {
-	return BufferLatencyWarm(sys, path, bufBytes, samples, seed, WarmupExact)
+	return BufferLatencyOpt(sys, path, bufBytes, samples, seed, StreamOptions{})
 }
 
 // BufferLatencyWarm is BufferLatency with an explicit warmup policy.
 func BufferLatencyWarm(sys *topo.System, path *topo.Path, bufBytes int64, samples int, seed uint64, warm Warmup) sim.Time {
+	return BufferLatencyOpt(sys, path, bufBytes, samples, seed, StreamOptions{Warm: warm})
+}
+
+// BufferLatencyOpt is BufferLatency with explicit StreamOptions. Random
+// accesses are already independent of each other, so the whole warmup and
+// measurement stream is generated ahead of the simulation in large chunks
+// and driven through the sharded engine; Chains has no effect here.
+func BufferLatencyOpt(sys *topo.System, path *topo.Path, bufBytes int64, samples int, seed uint64, o StreamOptions) sim.Time {
 	if samples <= 0 || bufBytes < cache.LineBytes {
 		panic("mlc: invalid buffer latency parameters")
 	}
@@ -129,12 +196,12 @@ func BufferLatencyWarm(sys *topo.System, path *topo.Path, bufBytes int64, sample
 	lines := bufBytes / cache.LineBytes
 	rng := sim.NewRng(seed)
 
-	batch := make([]uint64, batchLines)
+	chunk := make([]uint64, chunkLines)
 	// fill draws the next n random line addresses from the measurement's
 	// single RNG stream (same stream and order as the historical scalar
 	// loop consumed).
 	fill := func(n int) []uint64 {
-		b := batch[:n]
+		b := chunk[:n]
 		for i := range b {
 			b[i] = uint64(rng.Int63n(lines)) * cache.LineBytes
 		}
@@ -145,14 +212,14 @@ func BufferLatencyWarm(sys *topo.System, path *topo.Path, bufBytes int64, sample
 	pass := func(accesses int) cache.LevelCounts {
 		var c cache.LevelCounts
 		for remaining := accesses; remaining > 0; {
-			n := min(remaining, batchLines)
-			hier.ReadStream(0, fill(n), home, &c)
+			n := min(remaining, chunkLines)
+			hier.ReadStreamSharded(0, fill(n), home, &c, o.Workers)
 			remaining -= n
 		}
 		return c
 	}
 
-	switch warm {
+	switch o.Warm {
 	case WarmupExact:
 		pass(int(lines) * WarmMaxPasses)
 	case WarmupConverged:

@@ -27,6 +27,9 @@ type wireProvenance struct {
 	Quick      bool   `json:"quick"`
 	FastWarmup bool   `json:"fastwarmup"`
 	Seed       uint64 `json:"seed"`
+	// Fidelity is omitted when empty (exact), keeping exact-run wire bytes
+	// identical to the pre-fidelity schema.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // wireDataset is the pinned top-level JSON form of a Dataset.
@@ -121,6 +124,7 @@ func (d *Dataset) wire() wireDataset {
 			Quick:      d.Prov.Quick,
 			FastWarmup: d.Prov.FastWarmup,
 			Seed:       d.Prov.Seed,
+			Fidelity:   d.Prov.Fidelity,
 		},
 	}
 	for i, c := range d.Columns {
@@ -179,6 +183,7 @@ func ParseJSON(data []byte) (*Dataset, error) {
 		Quick:        w.Provenance.Quick,
 		FastWarmup:   w.Provenance.FastWarmup,
 		Seed:         w.Provenance.Seed,
+		Fidelity:     w.Provenance.Fidelity,
 	}
 	return d, nil
 }

@@ -155,6 +155,10 @@ type Provenance struct {
 	FastWarmup bool
 	// Seed is the stochastic seed the run used.
 	Seed uint64
+	// Fidelity records a non-exact measurement tier ("auto" or "fast");
+	// empty means exact simulation, so pre-fidelity datasets and the wire
+	// bytes of every exact run are unchanged.
+	Fidelity string
 }
 
 // Dataset is one experiment's structured result: a schema of typed columns,

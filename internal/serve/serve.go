@@ -23,10 +23,17 @@
 //
 // Shared query parameters on /v1/run and /v1/scenario: format (text|json|
 // csv, default json — it is a query daemon), platform, quick, fastwarm,
-// seed, timeout. Request knobs override the server's base options; the
-// sweep worker count stays a server-side setting so clients cannot
-// oversubscribe the host, and a request timeout can only lower the server's
-// deadline, never raise it.
+// fidelity (exact|auto|fast, the measurement tier of the cache-simulating
+// experiments), seed, timeout. Request knobs override the server's base
+// options; the sweep worker count stays a server-side setting so clients
+// cannot oversubscribe the host, and a request timeout can only lower the
+// server's deadline, never raise it.
+//
+// With Config.EnablePprof (the -pprof flag), the standard net/http/pprof
+// profiling handlers are additionally served under /debug/pprof/. They
+// bypass the admission gate by design — profiling an overloaded daemon is
+// exactly when the gate would shed them — so the flag must only be enabled
+// on instances that are not exposed to untrusted clients.
 package serve
 
 import (
@@ -37,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	httppprof "net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -74,6 +82,9 @@ type Config struct {
 	// before new arrivals are shed with 429. Waiting requests that hit
 	// their deadline are shed with 503. Only meaningful with MaxInflight.
 	MaxQueue int
+	// EnablePprof serves the net/http/pprof handlers under /debug/pprof/,
+	// outside the admission gate (see the package doc's security note).
+	EnablePprof bool
 }
 
 // Server is the hardened cxlserve request handler: admission gate, request
@@ -103,6 +114,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/scenario", s.instrument("/v1/scenario", s.admit(s.scenario)))
 	mux.HandleFunc("/metrics", s.metricsHandler)
 	mux.HandleFunc("/healthz", s.healthz)
+	if s.cfg.EnablePprof {
+		// Deliberately outside admit: profiling must stay reachable while
+		// the compute gate is shedding, and pprof's own handlers bound
+		// their work. Index covers the /debug/pprof/{heap,goroutine,...}
+		// lookups; the four fixed handlers are not plain profiles.
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	return recoverMiddleware(mux)
 }
 
@@ -347,6 +369,14 @@ func (s *Server) requestOptions(w http.ResponseWriter, r *http.Request) (experim
 		// Platform names are lowercase in the registry; accept the same
 		// spellings the -platform flag does.
 		opts.Platform = strings.ToLower(v)
+	}
+	if v := q.Get("fidelity"); v != "" {
+		f, err := experiments.ParseFidelity(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return opts, nil, false
+		}
+		opts.Fidelity = f
 	}
 	for name, dst := range map[string]*bool{"quick": &opts.Quick, "fastwarm": &opts.FastWarmup} {
 		v := q.Get(name)

@@ -12,8 +12,10 @@
 #   scripts/bench.sh compare  # diff the two newest BENCH_*.json, flag >25%
 #                             # regressions (exit 1 if any)
 #
-# Entries are single-shot (-benchtime=1x), so sub-millisecond experiments
-# jitter by integer factors run to run; compare only *fails* on a >25%
+# Entries are single-shot (-benchtime=1x). Sub-10 ms experiments jitter by
+# integer factors run to run, so those entries are re-run twice more and
+# recorded best-of-3 — the minimum is the stable statistic for a
+# deterministic workload. compare additionally only *fails* on a >25%
 # regression when the new time is also above a 5 ms noise floor (the gate
 # exists for the second-scale hot paths like fig5/ablation-llc). Noisy
 # small entries are still printed, marked "noise floor".
@@ -69,35 +71,67 @@ fi
 n="${1:-1}"
 out="BENCH_${n}.json"
 
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT INT TERM
+
+# Phase 1: one full pass. Emit "Name ns" pairs (benchmark name with the
+# Benchmark prefix and GOMAXPROCS suffix stripped) in run order.
 start_ns=$(date +%s%N)
 go test -run '^$' -bench '^Benchmark(Table|Fig|Ablation)' -benchtime=1x . |
-	awk -v start="$start_ns" '
-	/^Benchmark/ {
+	awk '/^Benchmark/ {
 		name = $1
 		sub(/^Benchmark/, "", name)
 		sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
-		if (name ~ /^Ablation/) {
-			rest = substr(name, 9)
-			id = "ablation-" tolower(rest)
-		} else {
-			id = tolower(name)
-		}
-		# $3 is already an integer literal; keep it textual so 32-bit awk
-		# %d limits cannot truncate slow entries.
-		ns[++count] = "  \"" id "\": " $3
-		total += $3
+		print name, $3
+	}' >"$raw"
+
+if ! [ -s "$raw" ]; then
+	echo "bench.sh: no benchmark output" >&2
+	exit 1
+fi
+
+# Phase 2: entries under 10 ms are re-run twice more and recorded best-of-3.
+# A single -benchtime=1x shot of a sub-10 ms experiment jitters by integer
+# factors (scheduler + cache effects dwarf the work); the minimum of three is
+# the stable statistic for a deterministic workload. Second-scale entries
+# are left single-shot — re-running them would triple bench time for noise
+# that is already proportionally small.
+fast=$(awk '$2 + 0 < 10000000 { printf "%s%s", sep, $1; sep = "|" }' "$raw")
+if [ -n "$fast" ]; then
+	for _ in 1 2; do
+		go test -run '^$' -bench "^Benchmark(${fast})\$" -benchtime=1x . |
+			awk '/^Benchmark/ {
+				name = $1
+				sub(/^Benchmark/, "", name)
+				sub(/-[0-9]+$/, "", name)
+				print name, $3
+			}' >>"$raw"
+	done
+fi
+
+awk -v start="$start_ns" '
+	{
+		if (!($1 in best)) order[++count] = $1
+		# Keep the value textual so 32-bit awk %d limits cannot truncate
+		# slow entries; compare numerically for the minimum.
+		if (!($1 in best) || $2 + 0 < best[$1] + 0) best[$1] = $2
 	}
 	END {
-		if (count == 0) {
-			print "bench.sh: no benchmark output" > "/dev/stderr"
-			exit 1
-		}
 		"date +%s%N" | getline end
 		print "{"
-		for (i = 1; i <= count; i++) print ns[i] ","
+		for (i = 1; i <= count; i++) {
+			name = order[i]
+			if (name ~ /^Ablation/) {
+				id = "ablation-" tolower(substr(name, 9))
+			} else {
+				id = tolower(name)
+			}
+			print "  \"" id "\": " best[name] ","
+			total += best[name]
+		}
 		printf "  \"_total_ns\": %.0f,\n", total
 		printf "  \"_wall_ns\": %.0f\n", end - start
 		print "}"
-	}' >"$out"
+	}' "$raw" >"$out"
 
 echo "wrote $out"
