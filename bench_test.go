@@ -60,6 +60,8 @@ func BenchmarkFig12a(b *testing.B) { benchExperiment(b, "fig12a") }
 func BenchmarkFig12b(b *testing.B) { benchExperiment(b, "fig12b") }
 func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
 
+func BenchmarkTppTimeline(b *testing.B) { benchExperiment(b, "tpp-timeline") }
+
 func BenchmarkAblationLLC(b *testing.B)       { benchExperiment(b, "ablation-llc") }
 func BenchmarkAblationCoherence(b *testing.B) { benchExperiment(b, "ablation-coherence") }
 func BenchmarkAblationEstimator(b *testing.B) { benchExperiment(b, "ablation-estimator") }

@@ -24,6 +24,7 @@
 //	GET /v1/run?id=fig5&format=json             one experiment
 //	GET /v1/run?id=matrix-apps&format=csv       matrices too
 //	GET /v1/scenario?spec=dlrm/policy=cxl:63    one scenario cell
+//	GET /v1/trace?limit=100                     discrete-event trace ring
 //	GET /metrics                                cache/admission/latency counters
 //	GET /healthz                                liveness (503 while draining)
 //
@@ -48,6 +49,7 @@ import (
 	"cxlmem/internal/experiments"
 	"cxlmem/internal/memo"
 	"cxlmem/internal/serve"
+	"cxlmem/internal/telemetry"
 )
 
 func main() {
@@ -64,6 +66,7 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "expire cached results this long after computation (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (bypasses admission control; trusted networks only)")
+	traceCap := flag.Int("trace-cap", 4096, "events retained in the discrete-event trace ring served by /v1/trace")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -79,6 +82,7 @@ func main() {
 		os.Exit(1)
 	}
 	experiments.ConfigureCaches(memo.CacheConfig{MaxEntries: *cacheEntries, TTL: *cacheTTL})
+	telemetry.Sim.Configure(*traceCap)
 
 	s := serve.NewServer(serve.Config{
 		Base:        opts,

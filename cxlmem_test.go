@@ -22,8 +22,8 @@ func TestNewSystems(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	infos := Experiments()
-	if len(infos) != 28 {
-		t.Errorf("expected 28 experiments, got %d", len(infos))
+	if len(infos) != 29 {
+		t.Errorf("expected 29 experiments, got %d", len(infos))
 	}
 	for _, info := range infos {
 		if info.ID == "" || info.Desc == "" {
@@ -33,8 +33,8 @@ func TestExperimentsListed(t *testing.T) {
 }
 
 func TestScenarioFacade(t *testing.T) {
-	if got := len(ScenarioWorkloads()); got != 7 {
-		t.Errorf("expected 7 scenario workloads, got %d", got)
+	if got := len(ScenarioWorkloads()); got != 8 {
+		t.Errorf("expected 8 scenario workloads, got %d", got)
 	}
 	out, err := RunScenario("fluid/policy=interleave/size=64M", RunConfig{Quick: true})
 	if err != nil {

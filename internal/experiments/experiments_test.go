@@ -48,6 +48,7 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	want = append(want, "ablation-llc", "ablation-coherence", "ablation-estimator")
 	want = append(want, "matrix-apps", "matrix-policy", "matrix-size", "matrix-platform")
+	want = append(want, "tpp-timeline")
 	if len(IDs()) != len(want) {
 		t.Errorf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
 	}

@@ -211,11 +211,17 @@ func mustScenarioDataset(o Options, id, title string, specs []string) *results.D
 // matrixPlacements are the coarse placement policies of matrix-apps.
 var matrixPlacements = []string{"ddr", "interleave", "cxl"}
 
-// matrixAppsSpecs crosses every registered workload with the coarse
-// placements at default size.
+// matrixAppsSpecs crosses every registered steady-state workload with the
+// coarse placements at default size. Event-driven workloads are skipped:
+// their output is a timeline, not a placement-comparable scalar, and they
+// have their own dedicated experiment (tpp-timeline) — skipping them also
+// keeps this matrix's golden invariant as event-driven workloads register.
 func matrixAppsSpecs() []string {
 	var specs []string
 	for _, w := range workloads.All() {
+		if workloads.IsEventDriven(w) {
+			continue
+		}
 		for _, p := range matrixPlacements {
 			specs = append(specs, fmt.Sprintf("%s/policy=%s", w.Name(), p))
 		}

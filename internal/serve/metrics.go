@@ -116,6 +116,11 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(wr, "cxlserve_cache_entries{cache=%q} %d\n", c.name, c.st.Size)
 			fmt.Fprintf(wr, "cxlserve_cache_inflight{cache=%q} %d\n", c.name, c.st.InFlight)
 		}
+		counts, buffered := simTraceCounts()
+		fmt.Fprintf(wr, "cxlserve_sim_events_total{phase=\"enqueue\"} %d\n", counts.Enqueued)
+		fmt.Fprintf(wr, "cxlserve_sim_events_total{phase=\"dispatch\"} %d\n", counts.Dispatched)
+		fmt.Fprintf(wr, "cxlserve_sim_events_total{phase=\"complete\"} %d\n", counts.Completed)
+		fmt.Fprintf(wr, "cxlserve_sim_trace_buffered %d\n", buffered)
 		fmt.Fprintf(wr, "cxlserve_inflight %d\n", s.metrics.inflight.Load())
 		fmt.Fprintf(wr, "cxlserve_queued %d\n", s.metrics.queued.Load())
 		fmt.Fprintf(wr, "cxlserve_shed_total %d\n", s.metrics.shed.Load())

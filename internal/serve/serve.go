@@ -18,6 +18,7 @@
 //	/v1/experiments                         registry listing (JSON)
 //	/v1/run?id=fig3&format=json             one experiment, emitted
 //	/v1/scenario?spec=dlrm/policy=cxl:63    one scenario cell, emitted
+//	/v1/trace?limit=100                     discrete-event trace ring (JSON)
 //	/metrics                                cache/admission/latency counters
 //	/healthz                                liveness ("ok", or 503 draining)
 //
@@ -110,6 +111,7 @@ func NewServer(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/experiments", s.instrument("/v1/experiments", s.experiments))
+	mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", s.trace))
 	mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.admit(s.run)))
 	mux.HandleFunc("/v1/scenario", s.instrument("/v1/scenario", s.admit(s.scenario)))
 	mux.HandleFunc("/metrics", s.metricsHandler)

@@ -5,17 +5,18 @@ import (
 	"testing"
 )
 
-// sevenModels are the per-model subpackages the registry must cover.
-var sevenModels = []string{"dlrm", "dsb", "fio", "fluid", "kvstore", "spec", "ycsb"}
+// allModels are the registered workloads: the seven per-model subpackages
+// plus the event-driven tpp-timeline, in sorted registry order.
+var allModels = []string{"dlrm", "dsb", "fio", "fluid", "kvstore", "spec", "tpp-timeline", "ycsb"}
 
-// TestAllSevenRegistered asserts every model subpackage has a registered
-// adapter and the registry views agree with each other.
-func TestAllSevenRegistered(t *testing.T) {
+// TestAllModelsRegistered asserts every model has a registered adapter and
+// the registry views agree with each other.
+func TestAllModelsRegistered(t *testing.T) {
 	names := Names()
-	if len(names) != len(sevenModels) {
-		t.Fatalf("registry has %d workloads %v, want the seven models %v", len(names), names, sevenModels)
+	if len(names) != len(allModels) {
+		t.Fatalf("registry has %d workloads %v, want the models %v", len(names), names, allModels)
 	}
-	for i, want := range sevenModels {
+	for i, want := range allModels {
 		if names[i] != want {
 			t.Errorf("Names()[%d] = %q, want %q", i, names[i], want)
 		}
@@ -120,7 +121,7 @@ func TestUnknownDeviceRejected(t *testing.T) {
 // TestCatalog sanity-checks the generated EXPERIMENTS.md catalog rows.
 func TestCatalog(t *testing.T) {
 	cat := Catalog()
-	for _, name := range sevenModels {
+	for _, name := range allModels {
 		if !strings.Contains(cat, "| `"+name+"` |") {
 			t.Errorf("catalog missing row for %s:\n%s", name, cat)
 		}

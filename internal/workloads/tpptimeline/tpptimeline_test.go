@@ -1,0 +1,100 @@
+package tpptimeline
+
+import (
+	"reflect"
+	"testing"
+
+	"cxlmem/internal/sim"
+	"cxlmem/internal/topo"
+)
+
+// quickCfg returns the cheap test configuration.
+func quickCfg() Config { return DefaultConfig().Quick() }
+
+// TestRunShape: the timeline has exactly Epochs samples on the configured
+// grid, totals agree with the per-epoch sums, and the cold start promotes
+// pages off the far tier.
+func TestRunShape(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	cfg := quickCfg()
+	res := Run(sys, cfg, sys.DefaultFarDevice())
+	if len(res.Epochs) != cfg.Epochs {
+		t.Fatalf("timeline has %d epochs, want %d", len(res.Epochs), cfg.Epochs)
+	}
+	var accesses int64
+	for i, es := range res.Epochs {
+		if es.Index != i || es.Start != sim.Time(i)*cfg.Epoch {
+			t.Fatalf("epoch %d has index %d start %v", i, es.Index, es.Start)
+		}
+		if es.LocalPages+es.FarPages != int64(cfg.Pages) {
+			t.Fatalf("epoch %d residency %d+%d != %d pages", i, es.LocalPages, es.FarPages, cfg.Pages)
+		}
+		accesses += es.Accesses
+	}
+	if accesses != res.Accesses || accesses == 0 {
+		t.Fatalf("epoch accesses sum %d, run total %d", accesses, res.Accesses)
+	}
+	if res.Promotions == 0 {
+		t.Fatal("cold start produced no promotions")
+	}
+	first, last := res.Epochs[0], res.Epochs[len(res.Epochs)-1]
+	if last.FarPages >= first.FarPages {
+		t.Fatalf("far residency did not fall: %d -> %d", first.FarPages, last.FarPages)
+	}
+	if res.Events.Dispatched == 0 || res.Events.Dispatched != res.Events.Completed {
+		t.Fatalf("unbalanced event counters: %+v", res.Events)
+	}
+}
+
+// TestRunDeterministic: same config + seed ⇒ deeply identical Result,
+// including the full trace when a ring is attached.
+func TestRunDeterministic(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	cfg := quickCfg()
+	ringA := sim.NewTraceRing(512)
+	ringB := sim.NewTraceRing(512)
+	a := Run(sys, cfg, sys.DefaultFarDevice(), ringA)
+	b := Run(sys, cfg, sys.DefaultFarDevice(), ringB)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical runs produced different results")
+	}
+	if !reflect.DeepEqual(ringA.Snapshot(), ringB.Snapshot()) {
+		t.Fatal("two identical runs produced different traces")
+	}
+	cfg.Seed++
+	c := Run(sys, cfg, sys.DefaultFarDevice())
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+// TestFarResidencyMonotoneInTarget is the tpp-timeline monotonicity
+// property: granting the local tier a larger share (more local capacity,
+// less far) must never *increase* steady-state far-page residency.
+func TestFarResidencyMonotoneInTarget(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	prev := 2.0
+	for _, target := range []float64{0.25, 0.5, 0.75, 0.9} {
+		cfg := quickCfg()
+		cfg.Policy.TargetDDRFraction = target
+		res := Run(sys, cfg, sys.DefaultFarDevice())
+		if res.FinalFarFraction > prev {
+			t.Fatalf("target %.2f: far residency %.3f exceeds %.3f at smaller local share",
+				target, res.FinalFarFraction, prev)
+		}
+		prev = res.FinalFarFraction
+	}
+}
+
+// TestInvalidConfigPanics: Run refuses invalid configurations loudly.
+func TestInvalidConfigPanics(t *testing.T) {
+	sys := topo.NewSystem(topo.DefaultConfig())
+	cfg := quickCfg()
+	cfg.Pages = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Run(sys, cfg, sys.DefaultFarDevice())
+}

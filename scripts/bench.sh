@@ -53,7 +53,12 @@ if [ "${1:-}" = "compare" ]; then
 		parse(oldf, a); parse(newf, b)
 		bad = 0
 		for (k in b) {
-			if (!(k in a) || a[k] <= 0) continue
+			# An ID absent from the baseline is a freshly added experiment,
+			# not a regression: report it so it is visible, never fail on it.
+			if (!(k in a) || a[k] <= 0) {
+				printf "%-22s new in %s  (%.0f ns)\n", k, newf, b[k]
+				continue
+			}
 			r = b[k] / a[k]
 			gated = (r > 1.25 && b[k] >= floor)
 			mark = gated ? "  << REGRESSION" : (r > 1.25 ? "  (noise floor)" : "")
@@ -77,7 +82,7 @@ trap 'rm -f "$raw"' EXIT INT TERM
 # Phase 1: one full pass. Emit "Name ns" pairs (benchmark name with the
 # Benchmark prefix and GOMAXPROCS suffix stripped) in run order.
 start_ns=$(date +%s%N)
-go test -run '^$' -bench '^Benchmark(Table|Fig|Ablation)' -benchtime=1x . |
+go test -run '^$' -bench '^Benchmark(Table|Fig|Tpp|Ablation)' -benchtime=1x . |
 	awk '/^Benchmark/ {
 		name = $1
 		sub(/^Benchmark/, "", name)
@@ -123,6 +128,8 @@ awk -v start="$start_ns" '
 			name = order[i]
 			if (name ~ /^Ablation/) {
 				id = "ablation-" tolower(substr(name, 9))
+			} else if (name == "TppTimeline") {
+				id = "tpp-timeline"
 			} else {
 				id = tolower(name)
 			}
