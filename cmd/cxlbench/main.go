@@ -36,6 +36,14 @@
 //	cxlbench -run matrix-apps -format csv
 //	cxlbench -scenario 'dlrm/policy=cxl:63' -format json
 //
+// With -remote, scenario cells are not computed locally: they are sharded
+// across a cxlserve replica fleet by canonical cell key (the coordinator
+// fan-out of DESIGN.md §14) and merged byte-identically to local execution,
+// so a warm fleet answers the full matrix without local compute:
+//
+//	cxlbench -scenario all -remote host1:8375,host2:8375
+//	cxlbench -scenario 'dlrm/policy=cxl:63' -remote host1:8375,host2:8375
+//
 // A single experiment fans its independent operating points across
 // -parallel workers (default: all CPUs). -run all spends the same budget one
 // level up: whole experiments run concurrently on -parallel workers, each
@@ -67,8 +75,13 @@ func main() {
 	fastwarm := flag.Bool("fastwarm", false, "convergence-based cache warmup (faster; last-digit shifts on fig5/ablation-llc)")
 	fidelity := flag.String("fidelity", "", "measurement tier for fig5/ablation-llc: exact (default), auto, fast")
 	format := flag.String("format", "", "output format for -run/-scenario: text (default), json, csv")
+	remote := flag.String("remote", "", "comma-separated cxlserve replica URLs: dispatch -scenario cells across the fleet instead of computing locally")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *remote != "" && (*scenario == "" || *scenario == "list") {
+		fail(fmt.Errorf("-remote dispatches scenario cells; pair it with -scenario SPEC or -scenario all"))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -116,14 +129,14 @@ func main() {
 		fmt.Println("\ncatalog (EXPERIMENTS.md form):")
 		fmt.Print(cxlmem.ScenarioCatalog())
 	case *scenario == "all":
-		out, err := cxlmem.RunScenarioMatrixIn(cfg, *format)
+		out, err := runMatrix(cfg, *format, *remote)
 		if err != nil {
 			pprof.StopCPUProfile()
 			fail(err)
 		}
 		fmt.Print(out)
 	case *scenario != "":
-		out, err := cxlmem.RunScenarioIn(*scenario, cfg, *format)
+		out, err := runScenario(*scenario, cfg, *format, *remote)
 		if err != nil {
 			pprof.StopCPUProfile()
 			fail(err)
@@ -185,6 +198,37 @@ func runAll(cfg cxlmem.RunConfig, format string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// runMatrix evaluates the full matrix locally, or — with -remote — sharded
+// across a cxlserve fleet by canonical cell key. The output is
+// byte-identical either way; remote dispatch only changes where the cells
+// compute and whose caches warm up.
+func runMatrix(cfg cxlmem.RunConfig, format, remote string) (string, error) {
+	if remote == "" {
+		return cxlmem.RunScenarioMatrixIn(cfg, format)
+	}
+	return cxlmem.RunRemoteScenarioMatrixIn(splitPeers(remote), cfg, format)
+}
+
+// runScenario evaluates one cell locally or on the replica owning its key.
+func runScenario(spec string, cfg cxlmem.RunConfig, format, remote string) (string, error) {
+	if remote == "" {
+		return cxlmem.RunScenarioIn(spec, cfg, format)
+	}
+	return cxlmem.RunRemoteScenarioIn(spec, splitPeers(remote), cfg, format)
+}
+
+// splitPeers splits the -remote flag's comma-separated replica list; the
+// facade normalizes schemes and rejects an empty result.
+func splitPeers(remote string) []string {
+	var peers []string
+	for _, p := range strings.Split(remote, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 func fail(err error) {

@@ -18,12 +18,21 @@
 //	cxlserve -parallel 4              # bound each run's sweep worker pool
 //	cxlserve -max-inflight 8 -max-queue 64 -timeout 30s -cache-entries 512
 //
+// Horizontal scale-out (DESIGN.md §14): -peers forms a cache-sharding ring —
+// each compute request is served by the replica owning its canonical memo
+// key, everything else proxies one hop — and -snapshot-load/-snapshot-save
+// warm-start the dataset cache across restarts:
+//
+//	cxlserve -addr :8375 -peers http://hostA:8375,http://hostB:8375
+//	cxlserve -snapshot-load warm.json -snapshot-save warm.json -snapshot-interval 5m
+//
 // Endpoints:
 //
 //	GET /v1/experiments                         registry + formats + platforms
 //	GET /v1/run?id=fig5&format=json             one experiment
 //	GET /v1/run?id=matrix-apps&format=csv       matrices too
 //	GET /v1/scenario?spec=dlrm/policy=cxl:63    one scenario cell
+//	GET /v1/snapshot                            dataset-cache warm-start snapshot
 //	GET /v1/trace?limit=100                     discrete-event trace ring
 //	GET /metrics                                cache/admission/latency counters
 //	GET /healthz                                liveness (503 while draining)
@@ -39,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"cxlmem/internal/cluster"
 	"cxlmem/internal/experiments"
 	"cxlmem/internal/memo"
 	"cxlmem/internal/serve"
@@ -67,6 +78,11 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (bypasses admission control; trusted networks only)")
 	traceCap := flag.Int("trace-cap", 4096, "events retained in the discrete-event trace ring served by /v1/trace")
+	peers := flag.String("peers", "", "comma-separated replica URLs forming the cache-sharding ring; compute requests proxy one hop to the key's owner")
+	selfAddr := flag.String("self", "", "this replica's advertised URL in the -peers ring (default: derived from -addr on 127.0.0.1)")
+	snapshotLoad := flag.String("snapshot-load", "", "warm-start: restore the dataset cache from this snapshot file at boot (a missing file starts cold)")
+	snapshotSave := flag.String("snapshot-save", "", "write a dataset-cache snapshot here at shutdown (and every -snapshot-interval)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "also snapshot periodically while serving (0 = only at shutdown; needs -snapshot-save)")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -84,17 +100,70 @@ func main() {
 	experiments.ConfigureCaches(memo.CacheConfig{MaxEntries: *cacheEntries, TTL: *cacheTTL})
 	telemetry.Sim.Configure(*traceCap)
 
+	// Warm start: restore the dataset cache before the listener opens so the
+	// first request already hits. A missing file is a cold boot, not an
+	// error (first run, or the snapshot was never written); a file that
+	// exists but does not parse is fatal — serving with a silently ignored
+	// snapshot would defeat the restart story the flag exists for.
+	restored := 0
+	if *snapshotLoad != "" {
+		data, err := os.ReadFile(*snapshotLoad)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("cxlserve: snapshot %s absent, starting cold", *snapshotLoad)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "cxlserve:", err)
+			os.Exit(1)
+		default:
+			restored, err = experiments.ImportDatasetCache(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cxlserve:", err)
+				os.Exit(1)
+			}
+			log.Printf("cxlserve: warm start: restored %d dataset entries from %s", restored, *snapshotLoad)
+		}
+	}
+
+	var ring *cluster.Ring
+	if *peers != "" {
+		var err error
+		ring, err = buildRing(*selfAddr, *addr, *peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cxlserve:", err)
+			os.Exit(1)
+		}
+		log.Printf("cxlserve: sharding ring: self=%s peers=%v", ring.Self(), ring.Peers())
+	}
+
 	s := serve.NewServer(serve.Config{
-		Base:        opts,
-		Timeout:     *timeout,
-		MaxInflight: *maxInflight,
-		MaxQueue:    *maxQueue,
-		EnablePprof: *pprofFlag,
+		Base:             opts,
+		Timeout:          *timeout,
+		MaxInflight:      *maxInflight,
+		MaxQueue:         *maxQueue,
+		EnablePprof:      *pprofFlag,
+		Ring:             ring,
+		SnapshotRestored: restored,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *snapshotSave != "" && *snapshotInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*snapshotInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := saveSnapshot(*snapshotSave); err != nil {
+						log.Printf("cxlserve: periodic snapshot: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	done := make(chan error, 1)
 	go func() {
 		log.Printf("cxlserve: listening on %s (quick=%t parallel=%d max-inflight=%d timeout=%s cache-entries=%d)",
@@ -124,5 +193,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cxlserve:", err)
 		os.Exit(1)
 	}
+	// Final snapshot after the drain: every in-flight computation has
+	// settled into the cache, so the next boot restores the freshest state.
+	if *snapshotSave != "" {
+		if err := saveSnapshot(*snapshotSave); err != nil {
+			fmt.Fprintln(os.Stderr, "cxlserve: final snapshot:", err)
+			os.Exit(1)
+		}
+		log.Printf("cxlserve: snapshot saved to %s", *snapshotSave)
+	}
 	log.Print("cxlserve: drained, bye")
+}
+
+// saveSnapshot writes the dataset-cache snapshot atomically (temp file +
+// rename) so a crash mid-write never leaves a truncated snapshot for the
+// next boot to choke on.
+func saveSnapshot(path string) error {
+	data, err := experiments.ExportDatasetCache()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// buildRing assembles the sharding ring from the -self/-addr/-peers flags:
+// the advertised self URL defaults to the listen port on 127.0.0.1, and all
+// addresses are normalized so flag spellings cannot split the membership.
+func buildRing(self, addr, peers string) (*cluster.Ring, error) {
+	if self == "" {
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("deriving -self from -addr %q: %w", addr, err)
+		}
+		if host == "" {
+			host = "127.0.0.1"
+		}
+		self = "http://" + net.JoinHostPort(host, port)
+	}
+	selfURL, err := cluster.NormalizeAddr(self)
+	if err != nil {
+		return nil, err
+	}
+	peerList, err := cluster.ParsePeerList(peers)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewRing(selfURL, peerList)
 }

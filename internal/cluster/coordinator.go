@@ -1,0 +1,199 @@
+// Coordinator fan-out (DESIGN.md §14): shard a list of scenario cells
+// across cxlserve replicas over the existing /v1/scenario API and merge the
+// per-cell results into one dataset byte-identical to local serial
+// execution.
+//
+// Each cell is routed to the replica that owns its canonical memo key, so
+// the fleet's bounded caches stay dedicated to disjoint key ranges and a
+// repeated matrix run is served entirely from warm shards. Workers claim
+// cells from a shared index — the PR 1 sweep-engine pattern — and write
+// results into index-addressed slots, so the merge order is the input
+// order regardless of which replica answered first.
+
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cxlmem/internal/experiments"
+	"cxlmem/internal/results"
+	"cxlmem/internal/workloads"
+)
+
+// maxErrorBody bounds how much of a replica's error response the
+// coordinator echoes into its own error message.
+const maxErrorBody = 512
+
+// Coordinator dispatches scenario cells across a replica ring. The zero
+// value is not usable — set Ring (a client-side ring over the replica base
+// URLs is enough).
+type Coordinator struct {
+	// Ring routes each cell to the replica owning its canonical key.
+	Ring *Ring
+	// Client is the HTTP client used for cell fetches; nil uses a default
+	// with a 5-minute per-request timeout (full-fidelity matrix cells are
+	// slow on cold replicas).
+	Client *http.Client
+	// Workers bounds concurrent in-flight fetches; 0 uses four per replica.
+	Workers int
+}
+
+// client resolves the HTTP client.
+func (co *Coordinator) client() *http.Client {
+	if co.Client != nil {
+		return co.Client
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+// workers resolves the fan-out width for n cells.
+func (co *Coordinator) workers(n int) int {
+	w := co.Workers
+	if w <= 0 {
+		w = 4 * len(co.Ring.Peers())
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// cellQuery pins every fingerprint-relevant option knob onto the query
+// string, so the remote cell key — and therefore its bytes — cannot depend
+// on the replica's own base flags. The platform parameter is sent even when
+// empty: presence pins the default Table-1 machine over a replica's
+// -platform base.
+func cellQuery(o experiments.Options, spec string) url.Values {
+	q := url.Values{}
+	q.Set("spec", spec)
+	q.Set("format", "json")
+	q.Set("quick", strconv.FormatBool(o.Quick))
+	q.Set("fastwarm", strconv.FormatBool(o.FastWarmup))
+	q.Set("seed", strconv.FormatUint(o.Seed, 10))
+	q.Set("platform", o.Platform)
+	return q
+}
+
+// fetchCell fetches one evaluated scenario cell from a replica and parses
+// it back into its ordered metric list through the lossless wire form.
+func (co *Coordinator) fetchCell(ctx context.Context, base string, o experiments.Options, sc workloads.Scenario) (workloads.Metrics, error) {
+	spec := sc.String()
+	target := strings.TrimSuffix(base, "/") + "/v1/scenario?" + cellQuery(o, spec).Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return workloads.Metrics{}, fmt.Errorf("cluster: cell %q: %w", spec, err)
+	}
+	resp, err := co.client().Do(req)
+	if err != nil {
+		return workloads.Metrics{}, fmt.Errorf("cluster: cell %q via %s: %w", spec, base, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return workloads.Metrics{}, fmt.Errorf("cluster: cell %q via %s: reading response: %w", spec, base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(body))
+		if len(msg) > maxErrorBody {
+			msg = msg[:maxErrorBody] + "..."
+		}
+		return workloads.Metrics{}, fmt.Errorf("cluster: cell %q via %s: %s: %s", spec, base, resp.Status, msg)
+	}
+	d, err := results.ParseJSON(body)
+	if err != nil {
+		return workloads.Metrics{}, fmt.Errorf("cluster: cell %q via %s: %w", spec, base, err)
+	}
+	m, err := workloads.MetricsFromDataset(d)
+	if err != nil {
+		return workloads.Metrics{}, fmt.Errorf("cluster: cell %q via %s: %w", spec, base, err)
+	}
+	return m, nil
+}
+
+// ScenarioCells evaluates every scenario on the fleet — each cell on the
+// replica owning its canonical key — and returns the metrics in input
+// order. Workers claim cells from a shared index; the first failure cancels
+// the remaining fetches and is returned.
+func (co *Coordinator) ScenarioCells(ctx context.Context, o experiments.Options, scs []workloads.Scenario) ([]workloads.Metrics, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]workloads.Metrics, len(scs))
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < co.workers(len(scs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(scs) {
+					return
+				}
+				owner := co.Ring.Owner(experiments.ScenarioKey(o, scs[i]))
+				m, err := co.fetchCell(ctx, owner, o, scs[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+						cancel()
+					}
+					errMu.Unlock()
+					return
+				}
+				out[i] = m
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ScenarioDataset is the distributed ScenarioDataset: it fans the cells out
+// across the fleet and assembles the merged dataset through the same row
+// construction as local execution — byte-identical output, property-tested
+// in the serve suite.
+func (co *Coordinator) ScenarioDataset(ctx context.Context, o experiments.Options, id, title string, scs []workloads.Scenario) (*results.Dataset, error) {
+	cells, err := co.ScenarioCells(ctx, o, scs)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.ScenarioDatasetFromCells(o, id, title, scs, cells), nil
+}
+
+// ScenarioResult is the distributed ScenarioResult: one cell evaluated on
+// its owning replica, assembled into the single-cell dataset form.
+func (co *Coordinator) ScenarioResult(ctx context.Context, o experiments.Options, sc workloads.Scenario) (*results.Dataset, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := co.fetchCell(ctx, co.Ring.Owner(experiments.ScenarioKey(o, sc)), o, sc)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.ScenarioResultFromCell(o, sc, m), nil
+}

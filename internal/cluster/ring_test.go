@@ -1,0 +1,205 @@
+package cluster
+
+// Ring property tests over the golden key corpus: every registered
+// experiment's dataset key plus every matrix cell's scenario key, under the
+// options the CI sweep actually uses. Balance and minimal reshuffle are the
+// two properties that make key-ownership sharding worth running.
+
+import (
+	"fmt"
+	"testing"
+
+	"cxlmem/internal/experiments"
+)
+
+// corpusKeys builds the golden routing corpus: one canonical key per
+// registered experiment and one per matrix scenario cell.
+func corpusKeys(t *testing.T) []string {
+	t.Helper()
+	o := experiments.DefaultOptions()
+	o.Quick = true
+	var keys []string
+	for _, e := range experiments.All() {
+		k, err := experiments.DatasetKey(e.ID, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	for _, sc := range experiments.AllMatrixScenarios() {
+		keys = append(keys, experiments.ScenarioKey(o, sc))
+	}
+	if len(keys) < 60 {
+		t.Fatalf("golden corpus has only %d keys; expected the full experiment + matrix set", len(keys))
+	}
+	return keys
+}
+
+// testPeers builds a ring over n synthetic replica addresses.
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8375", i+1)
+	}
+	return peers
+}
+
+// TestRingBalance pins the balance bound from ISSUE 9: over the golden key
+// corpus on a three-replica ring, no shard may hold more than twice the
+// mean load.
+func TestRingBalance(t *testing.T) {
+	keys := corpusKeys(t)
+	peers := testPeers(3)
+	r, err := NewRing("", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[string]int{}
+	for _, k := range keys {
+		load[r.Owner(k)]++
+	}
+	mean := float64(len(keys)) / float64(len(peers))
+	for _, p := range peers {
+		t.Logf("%s: %d keys (mean %.1f)", p, load[p], mean)
+		if float64(load[p]) > 2*mean {
+			t.Errorf("shard %s holds %d keys, more than 2x the mean %.1f", p, load[p], mean)
+		}
+		if load[p] == 0 {
+			t.Errorf("shard %s owns no keys at all", p)
+		}
+	}
+}
+
+// TestRingMinimalReshuffleOnAdd pins the rendezvous growth property: adding
+// a replica moves only the keys the newcomer now wins — every other
+// assignment is untouched.
+func TestRingMinimalReshuffleOnAdd(t *testing.T) {
+	keys := corpusKeys(t)
+	before, err := NewRing("", testPeers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing("", testPeers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newcomer := "http://10.0.0.4:8375"
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		if is != newcomer {
+			t.Errorf("key %q moved %s -> %s on add; only moves to the new peer are allowed", k, was, is)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Error("a fourth replica stole no keys; the ring is not spreading load to newcomers")
+	}
+	if max := len(keys) * 2 / 3; moved > max {
+		t.Errorf("adding one replica moved %d of %d keys; want a minimal reshuffle (<= %d)", moved, len(keys), max)
+	}
+}
+
+// TestRingMinimalReshuffleOnRemove pins the shrink property: removing a
+// replica moves only the keys it owned.
+func TestRingMinimalReshuffleOnRemove(t *testing.T) {
+	keys := corpusKeys(t)
+	peers := testPeers(3)
+	before, err := NewRing("", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := peers[1]
+	after, err := NewRing("", []string{peers[0], peers[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == gone {
+			if is == gone {
+				t.Fatalf("removed peer %s still owns %q", gone, k)
+			}
+			continue
+		}
+		if was != is {
+			t.Errorf("key %q moved %s -> %s although %s never owned it", k, was, is, gone)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossMembers pins the zero-coordination contract:
+// every member, and a client-side ring over the same addresses, computes the
+// same owner for every key regardless of which address is "self".
+func TestRingDeterministicAcrossMembers(t *testing.T) {
+	keys := corpusKeys(t)
+	peers := testPeers(3)
+	rings := []*Ring{}
+	for _, self := range append([]string{""}, peers...) {
+		r, err := NewRing(self, peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings = append(rings, r)
+	}
+	for _, k := range keys {
+		want := rings[0].Owner(k)
+		for i, r := range rings[1:] {
+			if got := r.Owner(k); got != want {
+				t.Fatalf("member %d disagrees on %q: %s vs %s", i, k, got, want)
+			}
+		}
+	}
+}
+
+// TestNewRing pins construction semantics: trimming, dedupe, self-insertion,
+// the empty-ring error, and Owns for the member / client / singleton shapes.
+func TestNewRing(t *testing.T) {
+	r, err := NewRing(" http://a:1 ", []string{"http://b:1", "http://a:1", "", "  http://b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peers(); len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:1" {
+		t.Fatalf("peers = %v, want deduped sorted pair", got)
+	}
+	if r.Self() != "http://a:1" {
+		t.Errorf("self = %q", r.Self())
+	}
+	if _, err := NewRing("", []string{"  ", ""}); err == nil {
+		t.Error("empty ring constructed without error")
+	}
+	solo, err := NewRing("http://a:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solo.Owns("anything") {
+		t.Error("single-member ring must own every key")
+	}
+	client, err := NewRing("", []string{"http://a:1", "http://b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Owns("anything") {
+		t.Error("client-side ring must own nothing")
+	}
+	member, err := NewRing("http://a:1", []string{"http://b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned, probes := 0, 64
+	for i := 0; i < probes; i++ {
+		k := fmt.Sprintf("probe-key-%d", i)
+		if member.Owns(k) {
+			owned++
+		}
+		if member.Owns(k) == (member.Owner(k) != member.Self()) {
+			t.Errorf("Owns(%q) disagrees with Owner", k)
+		}
+	}
+	if owned == 0 || owned == probes {
+		t.Errorf("member owns %d of %d probe keys; two-member split should be partial", owned, probes)
+	}
+}

@@ -309,6 +309,40 @@ func recoverAsErr(id string, err *error) {
 	}
 }
 
+// canonicalOptions blanks the option knobs that cannot shape this
+// experiment's bytes, so equivalent runs share one cache entry and an
+// honest provenance. Fixed figures ignore the platform knob (they always
+// measure the Table-1 machine); experiments that never simulate the
+// buffer-latency hot path produce identical bytes at any fidelity.
+func (e Experiment) canonicalOptions(o Options) Options {
+	if !e.UsesPlatform {
+		o.Platform = ""
+	}
+	if !e.UsesFidelity {
+		o.Fidelity = ""
+	}
+	return o
+}
+
+// datasetKey is the dataset cache's memoization key for a canonicalized
+// (experiment, options) pair.
+func datasetKey(id string, o Options) string {
+	return "experiment|" + id + "|" + o.fingerprint()
+}
+
+// DatasetKey returns the canonical memo key of one (experiment, options)
+// dataset — the unit of distribution for cache sharding (DESIGN.md §14).
+// It applies the same knob-blanking RunDataset does before caching, so a
+// routing ring and the memo layer can never disagree about which replica
+// owns a result. Unknown IDs wrap ErrNotFound.
+func DatasetKey(id string, o Options) (string, error) {
+	e, err := Get(id)
+	if err != nil {
+		return "", err
+	}
+	return datasetKey(id, e.canonicalOptions(o)), nil
+}
+
 // RunDataset runs the experiment with the given ID under the options and
 // returns its dataset, memoized process-wide. The returned dataset is shared
 // between callers: treat it as immutable and render it through the results
@@ -325,19 +359,8 @@ func RunDataset(id string, o Options) (*results.Dataset, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	// Fixed figures ignore the platform knob; blanking it after validation
-	// keeps their cache entry and provenance honest (one dataset, labeled
-	// Table 1) instead of forking identical copies per requested platform.
-	if !e.UsesPlatform {
-		o.Platform = ""
-	}
-	// Same honesty rule for the fidelity tier: an experiment that never
-	// simulates the buffer-latency hot path produces identical bytes at any
-	// fidelity, so it gets one cache entry and an unlabeled provenance.
-	if !e.UsesFidelity {
-		o.Fidelity = ""
-	}
-	v, err := datasetCache.DoCtx(o.context(), "experiment|"+id+"|"+o.fingerprint(), func(cctx context.Context) (out any, err error) {
+	o = e.canonicalOptions(o)
+	v, err := datasetCache.DoCtx(o.context(), datasetKey(id, o), func(cctx context.Context) (out any, err error) {
 		// A panicking driver must become an error, not a poisoned entry;
 		// recoverAsErr also turns sweep cancellation back into ctx.Err().
 		defer recoverAsErr(id, &err)

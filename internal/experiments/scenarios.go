@@ -57,6 +57,16 @@ func (o Options) cellKey(sc workloads.Scenario) string {
 	return sc.String() + "|" + o.fingerprint()
 }
 
+// ScenarioKey returns the canonical memo key of one (scenario, options)
+// cell — the unit of distribution for cache sharding (DESIGN.md §14), with
+// the same fidelity blanking the scenario dispatchers apply before caching:
+// scenario cells never simulate the buffer-latency hot path, so the tier
+// cannot fork their keys.
+func ScenarioKey(o Options, sc workloads.Scenario) string {
+	o.Fidelity = ""
+	return o.cellKey(sc)
+}
+
 // scenarioEnv builds the workload environment for one cell: the cell's own
 // platform when it names one (so Scenario.Run's ForPlatform is a no-op and
 // each cell builds exactly one System), the options' platform otherwise,
@@ -126,6 +136,14 @@ func ScenarioResult(o Options, sc workloads.Scenario) (*results.Dataset, error) 
 	if err != nil {
 		return nil, err
 	}
+	return ScenarioResultFromCell(o, sc, m), nil
+}
+
+// ScenarioResultFromCell assembles the single-cell dataset ScenarioResult
+// returns from an already-evaluated cell — the assembly half, shared with
+// the cluster coordinator so a remotely fetched cell renders byte-identical
+// to a local run.
+func ScenarioResultFromCell(o Options, sc workloads.Scenario, m workloads.Metrics) *results.Dataset {
 	d := m.Dataset("scenario", "scenario "+sc.String())
 	d.Prov = results.Provenance{
 		ExperimentID: "scenario",
@@ -135,7 +153,7 @@ func ScenarioResult(o Options, sc workloads.Scenario) (*results.Dataset, error) 
 		FastWarmup:   o.FastWarmup,
 		Seed:         o.Seed,
 	}
-	return d, nil
+	return d
 }
 
 // ParseScenarios parses a list of spec strings, failing on the first bad one.
@@ -171,21 +189,39 @@ func scenarioDatasetCached(cache *memo.Cache, o Options, id, title string, scs [
 		m, err := runScenarioCached(cache, o, scs[i])
 		return cell{m, err}
 	})
-	d := newDataset(o, id, title,
-		col("Scenario", ""), col("Metric", ""), col("Value", ""), col("Unit", ""), col("Detail", ""))
+	metrics := make([]workloads.Metrics, len(cells))
 	for i, c := range cells {
 		if c.err != nil {
 			return nil, fmt.Errorf("experiments: scenario %q: %w", scs[i], c.err)
 		}
-		p := c.m.Primary()
+		metrics[i] = c.m
+	}
+	return ScenarioDatasetFromCells(o, id, title, scs, metrics), nil
+}
+
+// ScenarioDatasetFromCells assembles the scenario-list dataset from
+// already-evaluated cell metrics, cells[i] belonging to scs[i]. It is the
+// assembly half of ScenarioDataset, shared with the cluster coordinator:
+// cells fetched from remote replicas merge through the exact same row
+// construction, which is what makes a distributed matrix run byte-identical
+// to local serial execution (remote values arrive through the lossless JSON
+// wire form, so no precision is lost on the way).
+func ScenarioDatasetFromCells(o Options, id, title string, scs []workloads.Scenario, cells []workloads.Metrics) *results.Dataset {
+	o.Fidelity = ""
+	d := newDataset(o, id, title,
+		col("Scenario", ""), col("Metric", ""), col("Value", ""), col("Unit", ""), col("Detail", ""))
+	for i, m := range cells {
+		p := m.Primary()
 		var detail []string
-		for _, it := range c.m.Items[1:] {
-			detail = append(detail, fmt.Sprintf("%s=%s%s", it.Name, f2(it.Value), it.Unit))
+		if len(m.Items) > 1 {
+			for _, it := range m.Items[1:] {
+				detail = append(detail, fmt.Sprintf("%s=%s%s", it.Name, f2(it.Value), it.Unit))
+			}
 		}
 		d.AddRow(results.Str(scs[i].String()), results.Str(p.Name), results.Num(p.Value, 2),
 			results.Str(p.Unit), results.Str(strings.Join(detail, " ")))
 	}
-	return d, nil
+	return d
 }
 
 // mustScenarios parses code-defined matrix specs; a bad literal is a

@@ -1,0 +1,106 @@
+// Warm-start snapshots of the dataset memo cache (DESIGN.md §14).
+//
+// Every cached dataset is a pure function of its canonical memo key, and
+// the results JSON emitter is lossless, so the whole cache can travel as
+// (key, wire-form) pairs: ExportDatasetCache serializes the resident
+// datasets through the same emitter that answers format=json requests, and
+// ImportDatasetCache inverts it with results.ParseJSON. A replica restarted
+// from a snapshot therefore serves byte-identical responses for every
+// restored key with zero recompute — the property the warm-start tests pin
+// against the golden corpus.
+//
+// Only the dataset cache is snapshotted. Scenario cells are cheap relative
+// to whole experiments, carry non-serializable workload state in some
+// models, and are themselves re-memoized on first touch; the dataset layer
+// is where a cold boot hurts.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cxlmem/internal/memo"
+	"cxlmem/internal/results"
+)
+
+// snapshotSchemaVersion is bumped whenever the snapshot envelope or the
+// entry encoding changes shape; ImportDatasetCache rejects other versions.
+const snapshotSchemaVersion = 1
+
+// snapshotFile is the on-disk/wire envelope of a dataset-cache snapshot.
+type snapshotFile struct {
+	// Schema is the snapshot format version.
+	Schema int `json:"schema"`
+	// Cache names the snapshotted cache ("dataset").
+	Cache string `json:"cache"`
+	// Entries holds the serialized cache entries, most-recently-used first.
+	Entries []memo.SnapshotEntry `json:"entries"`
+}
+
+// encodeDataset serializes one cached dataset through the lossless JSON
+// emitter — exactly the bytes a format=json response carries.
+func encodeDataset(key string, v any) ([]byte, error) {
+	d, ok := v.(*results.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("experiments: cache entry %q is not a dataset", key)
+	}
+	out, err := results.Emit(d, "json")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encoding %q: %w", key, err)
+	}
+	return []byte(out), nil
+}
+
+// decodeDataset inverts encodeDataset via results.ParseJSON.
+func decodeDataset(key string, data []byte) (any, error) {
+	d, err := results.ParseJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: decoding %q: %w", key, err)
+	}
+	return d, nil
+}
+
+// ExportDatasetCache serializes the process-wide dataset cache — every
+// settled, successful entry with its key and hotness metadata — as the
+// schema-versioned snapshot JSON cxlserve's /v1/snapshot serves and its
+// -snapshot-save flag writes.
+func ExportDatasetCache() ([]byte, error) {
+	entries, err := datasetCache.Snapshot(encodeDataset)
+	if err != nil {
+		return nil, err
+	}
+	if entries == nil {
+		entries = []memo.SnapshotEntry{}
+	}
+	out, err := json.MarshalIndent(snapshotFile{Schema: snapshotSchemaVersion, Cache: "dataset", Entries: entries}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ImportDatasetCache restores a snapshot produced by ExportDatasetCache
+// into the process-wide dataset cache and reports how many entries were
+// restored. Keys already resident are left untouched, and the configured
+// entry budget still applies — an oversized snapshot restores cold-first
+// evicted like any other overflow.
+func ImportDatasetCache(data []byte) (int, error) {
+	return ImportDatasetCacheInto(datasetCache, data)
+}
+
+// ImportDatasetCacheInto is ImportDatasetCache against an explicit cache —
+// the snapshot tests (here and in the serve layer) restore into a fresh
+// process-shape cache so the global one cannot mask a serialization bug.
+func ImportDatasetCacheInto(c *memo.Cache, data []byte) (int, error) {
+	var f snapshotFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("experiments: bad snapshot: %w", err)
+	}
+	if f.Schema != snapshotSchemaVersion {
+		return 0, fmt.Errorf("experiments: unsupported snapshot schema %d (want %d)", f.Schema, snapshotSchemaVersion)
+	}
+	if f.Cache != "dataset" {
+		return 0, fmt.Errorf("experiments: snapshot is of cache %q, want %q", f.Cache, "dataset")
+	}
+	return c.Restore(f.Entries, decodeDataset)
+}

@@ -1,0 +1,223 @@
+package experiments
+
+// Warm-start snapshot tests (DESIGN.md §14): the dataset cache must survive
+// a serialize/deserialize round trip with byte-identical emissions in every
+// format, including while eviction churns the cache underneath — the
+// process-restart story cxlserve's -snapshot-load flag implements.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cxlmem/internal/memo"
+	"cxlmem/internal/results"
+	"cxlmem/internal/workloads"
+)
+
+// TestSnapshotRoundTripUnderEviction is the warm-start acceptance test:
+// with the process caches squeezed to a 4-entry budget (a fraction of the
+// golden corpus), every registered experiment is run, exported through
+// ExportDatasetCache, and restored into a fresh process-shape cache — where
+// the just-run dataset must be resident (it was MRU at export), must serve
+// without recompute, and must emit byte-identically in every format, text
+// matching the committed golden.
+func TestSnapshotRoundTripUnderEviction(t *testing.T) {
+	ConfigureCaches(memo.CacheConfig{MaxEntries: 4})
+	defer ConfigureCaches(memo.CacheConfig{})
+	o := DefaultOptions()
+	o.Quick = true
+	o.Parallel = 2
+	covered := 0
+	for _, e := range All() {
+		d, err := RunDataset(e.ID, o)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		data, err := ExportDatasetCache()
+		if err != nil {
+			t.Fatalf("%s: export: %v", e.ID, err)
+		}
+		fresh := memo.NewCache()
+		n, err := ImportDatasetCacheInto(fresh, data)
+		if err != nil {
+			t.Fatalf("%s: import: %v", e.ID, err)
+		}
+		if n == 0 || n > 4 {
+			t.Fatalf("%s: restored %d entries, want 1..4 under a 4-entry budget", e.ID, n)
+		}
+		key, err := DatasetKey(e.ID, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recomputed := false
+		v, err := fresh.Do(key, func() (any, error) { recomputed = true; return nil, nil })
+		if err != nil {
+			t.Fatalf("%s: restored lookup: %v", e.ID, err)
+		}
+		if recomputed {
+			t.Fatalf("%s: just-run dataset missing from its own snapshot (key %s)", e.ID, key)
+		}
+		rd := v.(*results.Dataset)
+		for _, format := range []string{"text", "json", "csv"} {
+			want, err := results.Emit(d, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := results.Emit(rd, format)
+			if err != nil {
+				t.Fatalf("%s: emitting restored dataset as %s: %v", e.ID, format, err)
+			}
+			if got != want {
+				t.Errorf("%s: restored %s emission diverges from the original", e.ID, format)
+			}
+		}
+		golden, err := os.ReadFile(goldenPath(e.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rd.Render(); got != string(golden) {
+			t.Errorf("%s: restored text rendering diverges from the committed golden", e.ID)
+		}
+		covered++
+	}
+	if covered < 27 {
+		t.Errorf("round-tripped %d experiments, want the full corpus (>= 27)", covered)
+	}
+	ds, _ := CacheStats()
+	if ds.Evictions == 0 {
+		t.Error("dataset cache never evicted under the 4-entry budget — the test lost its pressure")
+	}
+}
+
+// TestImportRejectsBadSnapshots pins the failure envelope of the restore
+// path: corrupt JSON, a wrong schema version, and a foreign cache name all
+// fail cleanly without touching the cache.
+func TestImportRejectsBadSnapshots(t *testing.T) {
+	for _, tc := range []struct {
+		name, data string
+	}{
+		{"corrupt", "{not json"},
+		{"schema", `{"schema": 99, "cache": "dataset", "entries": []}`},
+		{"cache", `{"schema": 1, "cache": "cell", "entries": []}`},
+	} {
+		fresh := memo.NewCache()
+		if _, err := ImportDatasetCacheInto(fresh, []byte(tc.data)); err == nil {
+			t.Errorf("%s snapshot imported without error", tc.name)
+		}
+		if fresh.Len() != 0 {
+			t.Errorf("%s snapshot left %d entries resident", tc.name, fresh.Len())
+		}
+	}
+}
+
+// TestDatasetKeyMatchesCacheBehavior pins the routing contract: DatasetKey
+// applies the same knob blanking RunDataset does, so two option sets that
+// share a cache entry also share a routing key.
+func TestDatasetKeyMatchesCacheBehavior(t *testing.T) {
+	o := DefaultOptions()
+	o.Quick = true
+	// fig3 ignores platform and fidelity: blanked knobs must not fork keys.
+	base, err := DatasetKey("fig3", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := o
+	op.Platform = "x16-quad"
+	op.Fidelity = FidelityFast
+	forked, err := DatasetKey("fig3", op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != forked {
+		t.Errorf("fig3 keys fork on blanked knobs:\n%s\n%s", base, forked)
+	}
+	// matrix-platform consumes the platform knob: keys must fork.
+	mBase, err := DatasetKey("matrix-platform", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPlat, err := DatasetKey("matrix-platform", op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mBase == mPlat {
+		t.Error("matrix-platform keys do not fork on platform")
+	}
+	// Parallel never forks any key: a cached value is valid across fan-outs.
+	o2 := o
+	o2.Parallel = 7
+	k2, err := DatasetKey("fig3", o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != base {
+		t.Error("fig3 key forks on worker count")
+	}
+	if _, err := DatasetKey("fig99", o); err == nil {
+		t.Error("DatasetKey accepted an unknown experiment")
+	}
+}
+
+// TestScenarioKeyBlanksFidelity pins the scenario half of the routing
+// contract: fidelity never forks a cell key, everything else does.
+func TestScenarioKeyBlanksFidelity(t *testing.T) {
+	sc, err := workloads.ParseScenario("kvstore/policy=cxl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	base := ScenarioKey(o, sc)
+	if !strings.HasPrefix(base, sc.String()+"|") {
+		t.Errorf("cell key %q does not start with the canonical spec", base)
+	}
+	of := o
+	of.Fidelity = FidelityFast
+	if ScenarioKey(of, sc) != base {
+		t.Error("scenario key forks on fidelity")
+	}
+	oq := o
+	oq.Quick = true
+	if ScenarioKey(oq, sc) == base {
+		t.Error("scenario key does not fork on quick")
+	}
+}
+
+// TestMetricsFromDatasetRoundTrip proves the coordinator's parse direction:
+// Metrics -> Dataset -> JSON wire -> Dataset -> Metrics is lossless.
+func TestMetricsFromDatasetRoundTrip(t *testing.T) {
+	var m workloads.Metrics
+	m.Add("max_qps", 123456.789012345, "qps")
+	m.Add("p99_us", 7.000000000000001, "us")
+	m.Add("dram_share", 0.625, "")
+	d := m.Dataset("scenario", "probe")
+	wire, err := results.Emit(d, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := results.ParseJSON([]byte(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := workloads.MetricsFromDataset(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(m.Items) {
+		t.Fatalf("round trip has %d metrics, want %d", len(got.Items), len(m.Items))
+	}
+	for i, it := range got.Items {
+		if it != m.Items[i] {
+			t.Errorf("metric %d = %+v, want %+v (bit-exact)", i, it, m.Items[i])
+		}
+	}
+	if _, err := workloads.MetricsFromDataset(results.New("x", "bad", results.Column{Name: "only"})); err != nil {
+		// Zero-row dataset round-trips as empty metrics; only malformed rows fail.
+		t.Errorf("empty dataset should parse to empty metrics, got %v", err)
+	}
+	bad := results.New("x", "bad")
+	bad.AddRow(results.Str("a"), results.Str("b"))
+	if _, err := workloads.MetricsFromDataset(bad); err == nil {
+		t.Error("two-cell row parsed as a metric")
+	}
+}

@@ -28,6 +28,10 @@ type serverMetrics struct {
 	shed     atomic.Int64 // requests rejected by the admission gate
 	draining atomic.Bool  // set by Drain, never cleared
 
+	proxyErrors    atomic.Int64 // proxy hops that failed and fell back local
+	proxyForwarded atomic.Int64 // requests forwarded to their owning replica
+	proxyReceived  atomic.Int64 // forwarded requests served here (loop guard)
+
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 }
@@ -125,6 +129,11 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(wr, "cxlserve_queued %d\n", s.metrics.queued.Load())
 		fmt.Fprintf(wr, "cxlserve_shed_total %d\n", s.metrics.shed.Load())
 		fmt.Fprintf(wr, "cxlserve_draining %d\n", boolGauge(s.metrics.draining.Load()))
+		// Sorted by result label, matching the deterministic-order contract.
+		fmt.Fprintf(wr, "cxlserve_proxy_requests_total{result=\"error\"} %d\n", s.metrics.proxyErrors.Load())
+		fmt.Fprintf(wr, "cxlserve_proxy_requests_total{result=\"forwarded\"} %d\n", s.metrics.proxyForwarded.Load())
+		fmt.Fprintf(wr, "cxlserve_proxy_requests_total{result=\"received\"} %d\n", s.metrics.proxyReceived.Load())
+		fmt.Fprintf(wr, "cxlserve_snapshot_restored_entries %d\n", s.cfg.SnapshotRestored)
 
 		s.metrics.mu.Lock()
 		defer s.metrics.mu.Unlock()

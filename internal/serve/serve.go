@@ -50,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"cxlmem/internal/cluster"
 	"cxlmem/internal/experiments"
 	"cxlmem/internal/results"
 	"cxlmem/internal/topo"
@@ -86,6 +87,19 @@ type Config struct {
 	// EnablePprof serves the net/http/pprof handlers under /debug/pprof/,
 	// outside the admission gate (see the package doc's security note).
 	EnablePprof bool
+	// Ring, when non-nil, shards the compute endpoints across a replica
+	// fleet by canonical memo key: a request whose key this replica owns is
+	// served locally, anything else is forwarded one hop to its owner (see
+	// DESIGN.md §14). Replicas in one ring must share base options, or an
+	// unpinned request resolves to different keys on different members.
+	Ring *cluster.Ring
+	// ProxyClient is the HTTP client used for the single proxy hop; nil
+	// uses a default with a 5-minute timeout matching the coordinator's.
+	ProxyClient *http.Client
+	// SnapshotRestored is the number of dataset-cache entries restored from
+	// a warm-start snapshot at boot, exported on /metrics so operators (and
+	// the CI smoke test) can verify a restart actually warm-started.
+	SnapshotRestored int
 }
 
 // Server is the hardened cxlserve request handler: admission gate, request
@@ -114,6 +128,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", s.trace))
 	mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.admit(s.run)))
 	mux.HandleFunc("/v1/scenario", s.instrument("/v1/scenario", s.admit(s.scenario)))
+	// Outside admit: the snapshot is a read of already-computed cache state
+	// (no evaluation to gate), and a draining replica must still be able to
+	// hand its warm cache to whoever restarts it.
+	mux.HandleFunc("/v1/snapshot", s.instrument("/v1/snapshot", s.snapshot))
 	mux.HandleFunc("/metrics", s.metricsHandler)
 	mux.HandleFunc("/healthz", s.healthz)
 	if s.cfg.EnablePprof {
@@ -271,6 +289,10 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// An unknown id falls through to the local path, which answers the 404.
+	if key, err := experiments.DatasetKey(id, opts); err == nil && s.proxy(w, r, key) {
+		return
+	}
 	ctx, cancel, ok := s.requestContext(w, r)
 	if !ok {
 		return
@@ -298,17 +320,20 @@ func (s *Server) scenario(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sc, err := workloads.ParseScenario(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.proxy(w, r, experiments.ScenarioKey(opts, sc)) {
+		return
+	}
 	ctx, cancel, ok := s.requestContext(w, r)
 	if !ok {
 		return
 	}
 	defer cancel()
 	opts.Ctx = ctx
-	sc, err := workloads.ParseScenario(spec)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
 	d, err := experiments.ScenarioResult(opts, sc)
 	if err != nil {
 		writeError(w, err)
@@ -367,10 +392,13 @@ func (s *Server) requestContext(w http.ResponseWriter, r *http.Request) (context
 func (s *Server) requestOptions(w http.ResponseWriter, r *http.Request) (experiments.Options, results.Emitter, bool) {
 	opts := s.cfg.Base
 	q := r.URL.Query()
-	if v := q.Get("platform"); v != "" {
+	if q.Has("platform") {
 		// Platform names are lowercase in the registry; accept the same
-		// spellings the -platform flag does.
-		opts.Platform = strings.ToLower(v)
+		// spellings the -platform flag does. Presence (not non-emptiness)
+		// triggers the override so a coordinator can pin the default
+		// Table-1 machine with platform= over a replica's -platform base —
+		// the canonical key distinguishes the two.
+		opts.Platform = strings.ToLower(q.Get("platform"))
 	}
 	if v := q.Get("fidelity"); v != "" {
 		f, err := experiments.ParseFidelity(v)

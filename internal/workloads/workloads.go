@@ -179,6 +179,26 @@ func (m Metrics) Dataset(id, title string) *results.Dataset {
 	return d
 }
 
+// MetricsFromDataset inverts Metrics.Dataset: it recovers the ordered
+// metric list from a per-metric dataset (the /v1/scenario wire form). The
+// JSON emitter is lossless, so a round trip through a remote replica
+// preserves every value bit-for-bit — the property the cluster
+// coordinator's byte-identical merge relies on.
+func MetricsFromDataset(d *results.Dataset) (Metrics, error) {
+	var m Metrics
+	for i, row := range d.Rows {
+		if len(row) != 3 {
+			return Metrics{}, fmt.Errorf("workloads: dataset %q row %d has %d cells, want 3 (Metric, Value, Unit)", d.ID, i, len(row))
+		}
+		v, ok := row[1].Value()
+		if !ok {
+			return Metrics{}, fmt.Errorf("workloads: dataset %q row %d value cell is not numeric", d.ID, i)
+		}
+		m.Add(row[0].Str, v, row[2].Str)
+	}
+	return m, nil
+}
+
 // Get looks a measurement up by name.
 func (m Metrics) Get(name string) (float64, bool) {
 	for _, it := range m.Items {
