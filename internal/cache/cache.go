@@ -92,12 +92,16 @@ type Home struct {
 // Storage is a single flat slab of packed tag words; engine.go holds the
 // layout and the access operations.
 type Cache struct {
-	words    []uint64 // packed circular-recency tag words; nil until first fill
-	fps      []uint64 // per-set fingerprint sidecar: one 4-bit nibble per slot
-	fronts   []uint8  // per-set MRU cursor into the circular set
+	words []uint64 // packed tag words; nil until first fill
+	// meta is the per-set sidecar: meta[2s] is set s's fingerprint word (one
+	// 4-bit nibble per slot), meta[2s+1] its recency order word (nibble j =
+	// slot at recency position j). The pair is interleaved so a probe and its
+	// recency update touch one cache line, not two.
+	meta     []uint64
 	setCount int
 	ways     int
 	shift    uint // 64 - log2(setCount), for Fibonacci set hashing
+	lruShift uint // 4*(ways-1): bit offset of the LRU nibble in an order word
 
 	// Hits and Misses count lookups.
 	Hits, Misses uint64
@@ -126,7 +130,7 @@ func NewCache(sizeBytes int64, ways int) *Cache {
 	for p*2 <= sets {
 		p *= 2
 	}
-	c := &Cache{setCount: int(p), ways: ways, shift: 64}
+	c := &Cache{setCount: int(p), ways: ways, shift: 64, lruShift: uint(4 * (ways - 1))}
 	for s := p; s > 1; s /= 2 {
 		c.shift--
 	}

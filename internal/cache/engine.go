@@ -23,16 +23,27 @@ import (
 // SNC nodes, and packWord panics loudly if a caller ever exceeds the packed
 // range rather than corrupting routing.
 //
-// Recency replaces the old per-way LRU stamp + clock: each set is a circular
-// buffer whose logical order starts at a per-set front cursor, most recently
-// used first; empty slots (zero words) sit at the logical tail. A fill steps
-// the cursor back and writes one slot — displacing exactly the logical-last
-// (LRU) line when the set is full — so inserts and evictions read and write
-// a single word instead of scanning stamps or shifting the set. A hit
-// promotes its line to the cursor by walking only the lines logically ahead
-// of it. Because the cursor order and the old stamp order are the same
-// total order, every lookup, fill and eviction decision is identical to the
-// old engine's — the golden-table tests prove it byte-for-byte.
+// Recency is a packed permutation: each set carries one 64-bit order word
+// whose nibble j holds the physical slot at recency position j — position 0
+// is the MRU line, position ways-1 the LRU victim. Lines never move between
+// physical slots; every recency operation is a handful of branchless
+// shift/mask instructions on the order word:
+//
+//   - a hit promotes its slot to position 0 by SWAR-locating the slot's
+//     nibble and sliding the younger nibbles up one position (ordPromote);
+//   - a fill overwrites the slot named by the LRU nibble and rotates it to
+//     the front (the fill reads exactly one slot word — the displaced
+//     victim — and writes one);
+//   - a removal slides the older nibbles down and parks the freed slot at
+//     the LRU position, keeping empty slots at the logical tail (ordRemove).
+//
+// The order word encodes the same total order the historical stamp-based LRU
+// (and the circular-cursor engine that replaced it) maintained, so every
+// lookup, fill and eviction decision is identical — the golden-table corpus
+// and the randomized model-check against a reference list LRU
+// (lru_model_test.go) prove it. Nibbles at positions >= ways are dead: they
+// start above every live slot index and promotion scans take the lowest
+// match, so stale values shifted into them can never shadow a live slot.
 //
 // Probing never scans the ways. Each set carries a sidecar fingerprint word
 // holding a 4-bit hash nibble per physical slot (slot i at bits 4i..4i+3).
@@ -40,7 +51,8 @@ import (
 // replicated 16 times and extracts zero-nibble positions with the classic
 // SWAR trick, so a definite miss costs one 8-byte sidecar load and a
 // handful of ALU ops — the megabytes of tag words are read only to verify
-// the (almost always correct) candidates and to move lines on hits.
+// the (almost always correct) candidates. Because hits no longer move
+// words, a hit writes nothing but the order word.
 
 const (
 	tagBits    = 59
@@ -52,8 +64,9 @@ const (
 	MaxHomeNode = 7
 
 	// MaxWays is the largest associativity the engine supports: the per-set
-	// fingerprint sidecar holds one 4-bit nibble per slot in a single
-	// 64-bit word. NewCache rejects anything larger.
+	// fingerprint sidecar and the recency order word each hold one 4-bit
+	// nibble per slot in a single 64-bit word. NewCache rejects anything
+	// larger.
 	MaxWays = 16
 
 	// fibMul is the multiplicative hash shared by set indexing (high bits),
@@ -66,6 +79,12 @@ const (
 
 	swarLow  = 0x1111111111111111
 	swarHigh = 0x8888888888888888
+
+	// identityOrder is a fresh set's recency permutation: slot j at position
+	// j. Any permutation is valid for an all-empty set (inserts fill from
+	// the LRU position), but the identity keeps the dead nibbles above every
+	// live slot index until rotations retire them.
+	identityOrder = uint64(0xfedcba9876543210)
 )
 
 // packWord encodes a line's tag, home and dirty bit into its slot word.
@@ -95,12 +114,14 @@ func unpackHome(w uint64) Home {
 // nibbleOf extracts a line hash's fingerprint nibble.
 func nibbleOf(hash uint64) uint64 { return hash >> fpShift & 15 }
 
-// findIn returns the way holding ptag, or -1, by SWAR-matching nib against
-// the set's fingerprint word and verifying candidates against the words.
-// Empty ways have fingerprint nibble 0 and word 0, so a nib-0 probe may
-// visit empty candidates but the verify rejects them.
-func findIn(set []uint64, fp, nib, ptag uint64) int {
-	x := fp ^ nib*swarLow
+// findIn returns the way holding ptag, or -1, by SWAR-matching a replicated
+// fingerprint nibble (rep = nib*swarLow, hoisted by callers that probe
+// several levels with one nibble) against the set's fingerprint word and
+// verifying candidates against the words. Empty ways have fingerprint nibble
+// 0 and word 0, so a nib-0 probe may visit empty candidates but the verify
+// rejects them.
+func findIn(set []uint64, fp, rep, ptag uint64) int {
+	x := fp ^ rep
 	// Bits 4i+3 flag ways whose nibble equals nib (the borrow of the SWAR
 	// subtract can add false flags above a match; verification filters
 	// both those and genuine nibble collisions).
@@ -118,13 +139,50 @@ func findIn(set []uint64, fp, nib, ptag uint64) int {
 	return -1
 }
 
+// lowNibbles masks the low k nibbles of a packed word (k <= 16; k == 16
+// yields all ones via Go's defined overflow of the shift).
+func lowNibbles(k int) uint64 { return uint64(1)<<(4*uint(k)) - 1 }
+
+// nibblePos returns the lowest position whose nibble equals val. The SWAR
+// zero-detect has no false flags below the lowest true match (borrows only
+// start at a matching nibble), so the result is exact whenever val is
+// present — which the permutation invariant guarantees for live slots.
+func nibblePos(word, val uint64) int {
+	x := word ^ val*swarLow
+	return bits.TrailingZeros64((x-swarLow)&^x&swarHigh) >> 2
+}
+
+// ordPromote moves slot p to recency position 0: nibbles younger than p's
+// position slide up one, everything older is untouched. Branchless — the
+// position comes from a SWAR scan, the splice from three masks.
+func ordPromote(ord uint64, p int) uint64 {
+	j := nibblePos(ord, uint64(p))
+	return ord&^lowNibbles(j+1) | ord&lowNibbles(j)<<4 | uint64(p)
+}
+
+// ordFill rotates the LRU slot (position ways-1, extracted by the caller) to
+// position 0. The nibble shifted past position ways-1 is dead by the layout
+// contract.
+func ordFill(ord uint64, p int) uint64 { return ord<<4 | uint64(p) }
+
+// ordRemove parks slot p at the LRU position: nibbles older than p's
+// position slide down one and p becomes position ways-1, keeping empty slots
+// at the logical tail. lruShift is 4*(ways-1).
+func ordRemove(ord uint64, p int, lruShift uint) uint64 {
+	j := nibblePos(ord, uint64(p))
+	low := lowNibbles(j)
+	return (ord&low|ord>>4&^low)&^(15<<lruShift) | uint64(p)<<lruShift
+}
+
 // materialize allocates the tag slab and sidecars on first fill. Zero words
-// are empty slots, so no initialization pass is needed.
+// are empty slots, so only the order words need an initialization pass.
 func (c *Cache) materialize() {
 	if c.words == nil {
 		c.words = make([]uint64, c.setCount*c.ways)
-		c.fps = make([]uint64, c.setCount)
-		c.fronts = make([]uint8, c.setCount)
+		c.meta = make([]uint64, 2*c.setCount)
+		for i := 1; i < len(c.meta); i += 2 {
+			c.meta[i] = identityOrder
+		}
 	}
 }
 
@@ -135,66 +193,48 @@ func (c *Cache) set(hash uint64) (set []uint64, s int) {
 	return c.words[b : b+c.ways], s
 }
 
-// pushSlot writes w as the set's new MRU line by stepping the recency cursor
-// back one slot, returning the displaced word — zero if that slot was empty,
-// otherwise the logical-last (LRU) line. Exactly one slot word is read and
-// written; the rest of the set is untouched.
-func (c *Cache) pushSlot(set []uint64, s int, w, nib uint64) (displaced uint64) {
-	f := int(c.fronts[s]) - 1
-	if f < 0 {
-		f = len(set) - 1
-	}
-	displaced = set[f]
-	set[f] = w
-	c.fps[s] = c.fps[s]&^(15<<(4*uint(f))) | nib<<(4*uint(f))
-	c.fronts[s] = uint8(f)
+// fillSlot writes w as set s's new MRU line into the LRU slot named by the
+// order word, returning the displaced word — zero if that slot was empty
+// (empty slots sit at the logical tail), otherwise the evicted LRU line.
+// Exactly one slot word is read and written. Raw-array form shared by the
+// Cache methods and the fused stream loops.
+func fillSlot(set, meta []uint64, s int, w, nib uint64, lruShift uint) (displaced uint64) {
+	m := 2 * s
+	ord := meta[m+1]
+	p := int(ord >> lruShift & 15)
+	displaced = set[p]
+	set[p] = w
+	meta[m] = meta[m]&^(15<<(4*uint(p))) | nib<<(4*uint(p))
+	meta[m+1] = ordFill(ord, p)
 	return displaced
 }
 
-// promoteAt moves the line at physical slot p to the logical front, walking
-// the logically-ahead slots (and their fingerprint nibbles) one position
-// back. Returns the promoted word; the cursor does not move.
-func (c *Cache) promoteAt(set []uint64, s, p int, nib uint64) uint64 {
-	fp := c.fps[s]
-	front := int(c.fronts[s])
-	w := set[p]
-	for p != front {
-		q := p - 1
-		if q < 0 {
-			q = len(set) - 1
-		}
-		set[p] = set[q]
-		fp = fp&^(15<<(4*uint(p))) | fp>>(4*uint(q))&15<<(4*uint(p))
-		p = q
-	}
-	set[front] = w
-	c.fps[s] = fp&^(15<<(4*uint(front))) | nib<<(4*uint(front))
-	return w
+// clearSlot deletes the line at physical slot p of set s, clearing its word
+// and fingerprint nibble and parking the freed slot at the logical tail.
+func clearSlot(set, meta []uint64, s, p int, lruShift uint) {
+	m := 2 * s
+	set[p] = 0
+	meta[m] &^= 15 << (4 * uint(p))
+	meta[m+1] = ordRemove(meta[m+1], p, lruShift)
 }
 
-// removeSlot deletes the line at physical slot p, closing the gap by
-// walking the logically-ahead slots back and advancing the cursor; empty
-// slots stay at the logical tail.
+// fill writes w as the set's new MRU line into the LRU slot, returning the
+// displaced word (zero if the slot was empty).
+func (c *Cache) fill(set []uint64, s int, w, nib uint64) (displaced uint64) {
+	return fillSlot(set, c.meta, s, w, nib, c.lruShift)
+}
+
+// touch promotes the line at physical slot p to the MRU position. Only the
+// order word changes — the line stays in its slot and the fingerprint
+// sidecar is untouched.
+func (c *Cache) touch(s, p int) {
+	c.meta[2*s+1] = ordPromote(c.meta[2*s+1], p)
+}
+
+// removeSlot deletes the line at physical slot p, clearing its word and
+// fingerprint nibble and parking the freed slot at the logical tail.
 func (c *Cache) removeSlot(set []uint64, s, p int) {
-	fp := c.fps[s]
-	front := int(c.fronts[s])
-	for p != front {
-		q := p - 1
-		if q < 0 {
-			q = len(set) - 1
-		}
-		set[p] = set[q]
-		fp = fp&^(15<<(4*uint(p))) | fp>>(4*uint(q))&15<<(4*uint(p))
-		p = q
-	}
-	set[front] = 0
-	fp &^= 15 << (4 * uint(front))
-	f := front + 1
-	if f == len(set) {
-		f = 0
-	}
-	c.fps[s] = fp
-	c.fronts[s] = uint8(f)
+	clearSlot(set, c.meta, s, p, c.lruShift)
 }
 
 // Lookup probes for addr. On a hit it promotes the line to the set's MRU
@@ -207,15 +247,14 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 	line := addr / LineBytes
 	hash := line * fibMul
 	set, s := c.set(hash)
-	nib := nibbleOf(hash)
-	i := findIn(set, c.fps[s], nib, line+1)
+	i := findIn(set, c.meta[2*s], nibbleOf(hash)*swarLow, line+1)
 	if i < 0 {
 		c.Misses++
 		return false
 	}
-	w := c.promoteAt(set, s, i, nib)
+	c.touch(s, i)
 	if write {
-		set[int(c.fronts[s])] = w | dirtyFlag
+		set[i] |= dirtyFlag
 	}
 	c.Hits++
 	return true
@@ -231,15 +270,15 @@ func (c *Cache) Insert(addr uint64, home Home, dirty bool) (Victim, bool) {
 	nib := nibbleOf(hash)
 	ptag := line + 1
 
-	if i := findIn(set, c.fps[s], nib, ptag); i >= 0 {
+	if i := findIn(set, c.meta[2*s], nib*swarLow, ptag); i >= 0 {
 		// Already present: promote, keep the original home, merge dirty.
-		w := c.promoteAt(set, s, i, nib)
+		c.touch(s, i)
 		if dirty {
-			set[int(c.fronts[s])] = w | dirtyFlag
+			set[i] |= dirtyFlag
 		}
 		return Victim{}, false
 	}
-	displaced := c.pushSlot(set, s, packWord(ptag, home, dirty), nib)
+	displaced := c.fill(set, s, packWord(ptag, home, dirty), nib)
 	if displaced == 0 {
 		return Victim{}, false
 	}
@@ -260,7 +299,7 @@ func (c *Cache) remove(addr uint64) (found, dirty bool) {
 	line := addr / LineBytes
 	hash := line * fibMul
 	set, s := c.set(hash)
-	i := findIn(set, c.fps[s], nibbleOf(hash), line+1)
+	i := findIn(set, c.meta[2*s], nibbleOf(hash)*swarLow, line+1)
 	if i < 0 {
 		return false, false
 	}
@@ -303,9 +342,12 @@ func (c *Cache) Occupancy() int {
 }
 
 // Flush invalidates every line (clflush of the whole cache, as memo does
-// before each latency measurement). Cursor positions are irrelevant for an
-// all-empty set, so they are left in place.
+// before each latency measurement). The order words keep their current
+// permutation — any permutation is valid for an all-empty cache, since
+// inserts always fill from the LRU position.
 func (c *Cache) Flush() {
 	clear(c.words)
-	clear(c.fps)
+	for i := 0; i < len(c.meta); i += 2 {
+		c.meta[i] = 0
+	}
 }

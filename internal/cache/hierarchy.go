@@ -65,6 +65,15 @@ type Hierarchy struct {
 	LLCHits, LLCMisses uint64
 
 	arena []uint64 // slab arena shared by every cache; see materializeAll
+	// fresh records that every cache was carved from the arena (no cache had
+	// materialized standalone first), so the arena alone is the hierarchy's
+	// complete line state. Capture/Restore (snapshot.go) require it.
+	fresh bool
+
+	// kern is the monomorphized LLC view for the fused stream loop, built by
+	// materializeAll when the slab layout allows it (kernel.go); nil means
+	// streamInto uses the generic per-slice loop. Read-only once built.
+	kern *streamKernel
 
 	// Reusable counting-sort scratch for ReadStreamSharded (stream.go).
 	shardBuf []uint64
@@ -82,12 +91,16 @@ func (h *Hierarchy) materializeAll() {
 	if h.arena != nil {
 		return
 	}
+	fresh := true // every cache carved from this arena (kernel + snapshot precondition)
 	total := 0
 	for _, c := range h.all() {
 		if c.words == nil {
-			total += c.setCount*c.ways + c.setCount // words + fingerprints
+			total += c.setCount*c.ways + 2*c.setCount // words + fingerprints + orders
+		} else {
+			fresh = false
 		}
 	}
+	h.fresh = fresh
 	h.arena = make([]uint64, total)
 	adviseHugePages(h.arena)
 	off := 0
@@ -96,6 +109,9 @@ func (h *Hierarchy) materializeAll() {
 		off += n
 		return s
 	}
+	// Carve in two passes — all words, then all sidecars, each in all()
+	// order — so that each slice-level array is contiguous across slices.
+	// buildKernel relies on that slice-major layout for its flat LLC views.
 	for _, c := range h.all() {
 		if c.words != nil {
 			continue
@@ -103,10 +119,15 @@ func (h *Hierarchy) materializeAll() {
 		c.words = carve(c.setCount * c.ways)
 	}
 	for _, c := range h.all() {
-		if c.fps == nil {
-			c.fps = carve(c.setCount)
-			c.fronts = make([]uint8, c.setCount)
+		if c.meta == nil {
+			c.meta = carve(2 * c.setCount)
+			for i := 1; i < len(c.meta); i += 2 {
+				c.meta[i] = identityOrder
+			}
 		}
+	}
+	if fresh {
+		h.buildKernel()
 	}
 }
 

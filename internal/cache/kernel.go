@@ -1,0 +1,183 @@
+package cache
+
+// Monomorphized stream kernel (DESIGN.md §15).
+//
+// The generic streamInto loop re-resolves LLC slice geometry per access: it
+// loads slices[si], then that Cache's words/fps/orders slice headers, shift,
+// ways and lruShift — six dependent loads through a pointer that the
+// compiler cannot hoist because si changes every iteration. But on every
+// hierarchy the package actually builds, all slices share one geometry and
+// materializeAll carves their slabs slice-major from one arena. buildKernel
+// verifies those preconditions once, at materialize time, and captures flat
+// slice-major views of the LLC slabs; streamFused is the specialization of
+// the loop over those views — slice geometry lives in registers and an LLC
+// set resolves with one multiply-add instead of the pointer chase.
+//
+// The kernel is built once, before any shard worker can observe it, and is
+// read-only thereafter (the views alias the same arena the Cache structs
+// mutate, so there is no state to keep coherent). Hierarchies that do not
+// meet the preconditions — mixed standalone/arena materialization, nonuniform
+// slice geometry, or a modulo slice route — simply keep kern == nil and run
+// the generic loop; behaviour is identical either way.
+
+// streamKernel is the flat, slice-major view of every LLC slice's slabs plus
+// their (uniform) geometry. Slice si's set s lives at flat set index
+// si*sets + s.
+type streamKernel struct {
+	words []uint64 // all slices' tag words, slice-major
+	meta  []uint64 // all slices' sidecar pairs (fp, order), slice-major
+	sets  int      // sets per slice
+	ways  int
+	shift uint // per-slice set hash shift
+	lru   uint // 4*(ways-1)
+}
+
+// buildKernel installs the monomorphized kernel when the slab layout allows:
+// every slice shares one geometry and the arena was carved fresh (slice
+// slabs contiguous and slice-major, which materializeAll's three-pass carve
+// guarantees). Called only from materializeAll on a fresh carve.
+func (h *Hierarchy) buildKernel() {
+	if len(h.slices) == 0 {
+		return
+	}
+	s0 := h.slices[0]
+	for _, sc := range h.slices {
+		if sc.setCount != s0.setCount || sc.ways != s0.ways {
+			return
+		}
+	}
+	nS := len(h.slices)
+	wordsTotal := 0
+	for _, c := range h.all() {
+		wordsTotal += c.setCount * c.ways
+	}
+	k := &streamKernel{
+		words: h.arena[0 : nS*s0.setCount*s0.ways],
+		meta:  h.arena[wordsTotal : wordsTotal+nS*2*s0.setCount],
+		sets:  s0.setCount,
+		ways:  s0.ways,
+		shift: s0.shift,
+		lru:   s0.lruShift,
+	}
+	// Cross-check the derived views against the per-slice slabs: the flat
+	// layout assumption must match what the carve actually produced, or the
+	// kernel would silently read the wrong sets. Any mismatch falls back to
+	// the generic loop.
+	for i, sc := range h.slices {
+		if &k.words[i*k.sets*k.ways] != &sc.words[0] || &k.meta[i*2*k.sets] != &sc.meta[0] {
+			return
+		}
+	}
+	h.kern = k
+}
+
+// streamFused is streamInto specialized for the kernel's flat LLC views and
+// a power-of-two (mask) slice route. The L1/L2 halves are identical to the
+// generic loop; only the LLC set resolution differs. Keep the two loops in
+// lockstep — TestStreamFusedMatchesGeneric holds them access-for-access
+// equal.
+func (h *Hierarchy) streamFused(core int, addrs []uint64, rt sliceRoute, homeBits uint64, st *streamCounters) {
+	k := h.kern
+	l1, l2 := h.l1[core], h.l2[core]
+	l1w, l1m, l1ways, l1shift, l1lru := l1.words, l1.meta, l1.ways, l1.shift, l1.lruShift
+	l2w, l2m, l2ways, l2shift, l2lru := l2.words, l2.meta, l2.ways, l2.shift, l2.lruShift
+	llcW, llcM := k.words, k.meta
+	llcSets, llcWays, llcShift, llcLru := k.sets, k.ways, k.shift, k.lru
+	base, mask := rt.base, rt.mask
+	var l1Hit, l1Miss, l1Evict, l2Hit, l2Miss, l2Evict uint64
+	var nL1, nL2, nLLC, nMem uint64
+	for _, addr := range addrs {
+		line := addr / LineBytes
+		ptag := line + 1
+		hash := line * fibMul
+		nib := nibbleOf(hash)
+		rep := nib * swarLow
+
+		// L1 probe.
+		s1 := int(hash >> l1shift)
+		b1 := s1 * l1ways
+		set1 := l1w[b1 : b1+l1ways]
+		if i := findIn(set1, l1m[2*s1], rep, ptag); i >= 0 {
+			l1m[2*s1+1] = ordPromote(l1m[2*s1+1], i)
+			l1Hit++
+			nL1++
+			continue
+		}
+		l1Miss++
+
+		// L2 probe.
+		s2 := int(hash >> l2shift)
+		b2 := s2 * l2ways
+		set2 := l2w[b2 : b2+l2ways]
+		if i := findIn(set2, l2m[2*s2], rep, ptag); i >= 0 {
+			l2m[2*s2+1] = ordPromote(l2m[2*s2+1], i)
+			l2Hit++
+			if fillSlot(set1, l1m, s1, ptag|homeBits, nib, l1lru) != 0 {
+				l1Evict++
+			}
+			nL2++
+			continue
+		}
+		l2Miss++
+
+		// LLC probe against the flat slice-major slabs: one multiply-add
+		// resolves the global set, no per-slice pointer chase.
+		si := base + int(hash&mask)
+		g3 := si*llcSets + int(hash>>llcShift)
+		b3 := g3 * llcWays
+		set3 := llcW[b3 : b3+llcWays]
+		var dirtyBit uint64
+		if i := findIn(set3, llcM[2*g3], rep, ptag); i >= 0 {
+			dirtyBit = set3[i] & dirtyFlag
+			clearSlot(set3, llcM, g3, i, llcLru)
+			st.sliceHits[si]++
+			nLLC++
+		} else {
+			st.sliceMisses[si]++
+			nMem++
+		}
+
+		// Fill the private levels; spill the L2 victim to its routed slice.
+		fill := ptag | homeBits | dirtyBit
+		if fillSlot(set1, l1m, s1, fill, nib, l1lru) != 0 {
+			l1Evict++
+		}
+		victim := fillSlot(set2, l2m, s2, fill, nib, l2lru)
+		if victim == 0 {
+			continue
+		}
+		l2Evict++
+		vline := victim&ptagMask - 1
+		vhash := vline * fibMul
+		vnib := nibbleOf(vhash)
+		vrep := vnib * swarLow
+		var vi int
+		if victim&homeBitsMask == homeBits {
+			vi = base + int(vhash&mask)
+		} else {
+			vi = h.sliceFor(vline*LineBytes, unpackHome(victim))
+		}
+		vg := vi*llcSets + int(vhash>>llcShift)
+		vb := vg * llcWays
+		vset := llcW[vb : vb+llcWays]
+		if vp := findIn(vset, llcM[2*vg], vrep, vline+1); vp >= 0 {
+			llcM[2*vg+1] = ordPromote(llcM[2*vg+1], vp)
+			vset[vp] |= victim & dirtyFlag
+			continue
+		}
+		if fillSlot(vset, llcM, vg, victim, vnib, llcLru) != 0 {
+			st.sliceEvicts[vi]++
+		}
+	}
+
+	st.l1Hit += l1Hit
+	st.l1Miss += l1Miss
+	st.l1Evict += l1Evict
+	st.l2Hit += l2Hit
+	st.l2Miss += l2Miss
+	st.l2Evict += l2Evict
+	st.counts[L1] += nL1
+	st.counts[L2] += nL2
+	st.counts[LLC] += nLLC
+	st.counts[Memory] += nMem
+}

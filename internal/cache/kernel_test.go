@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"testing"
+
+	"cxlmem/internal/sim"
+)
+
+// streamCase replays one mixed stream — alternating cores and homes so the
+// L1/L2/LLC fill, promote and spill paths all fire — through a hierarchy,
+// optionally forcing the generic per-slice loop by discarding the kernel.
+func streamCase(cfg HierConfig, forceGeneric bool) (*Hierarchy, LevelCounts) {
+	h := NewHierarchy(cfg)
+	if forceGeneric {
+		h.materializeAll()
+		h.kern = nil
+	}
+	rng := sim.NewRng(13)
+	addrs := make([]uint64, 8000)
+	var counts LevelCounts
+	homes := []Home{
+		{Kind: HomeLocalDDR, Node: 0},
+		{Kind: HomeRemote, Node: 1},
+		{Kind: HomeLocalDDR, Node: cfg.SNCNodes - 1},
+	}
+	for round := 0; round < 6; round++ {
+		for i := range addrs {
+			addrs[i] = uint64(rng.Intn(1<<14)) * LineBytes
+		}
+		h.ReadStream(round%cfg.Cores, addrs, homes[round%len(homes)], &counts)
+	}
+	return h, counts
+}
+
+// TestStreamFusedMatchesGeneric holds the monomorphized kernel and the
+// generic per-slice loop access-for-access equal: identical streams leave
+// two hierarchies byte-identical whether or not the kernel dispatches.
+func TestStreamFusedMatchesGeneric(t *testing.T) {
+	cfg := shrunkConfig(4)
+	fused, fusedCounts := streamCase(cfg, false)
+	if fused.kern == nil {
+		t.Fatal("uniform pow2 hierarchy did not build a kernel — the fused path is silently dead")
+	}
+	generic, genericCounts := streamCase(cfg, true)
+	if generic.kern != nil {
+		t.Fatal("forced-generic hierarchy still has a kernel")
+	}
+	if fusedCounts != genericCounts {
+		t.Fatalf("histograms diverge: fused %v, generic %v", fusedCounts, genericCounts)
+	}
+	requireHierEqual(t, generic, fused)
+}
+
+// TestStreamFusedNonPow2Route pins the dispatch guard: a socket-wide route
+// over a non-power-of-two slice count (24 cores) must take the generic loop
+// even though the kernel exists, while confined (power-of-two) routes still
+// fuse — and both agree with the all-generic run.
+func TestStreamFusedNonPow2Route(t *testing.T) {
+	cfg := shrunkConfig(3)
+	cfg.Cores = 24 // 24 slices socket-wide (mask 0), 8 per node (mask 7)
+	h, counts := streamCase(cfg, false)
+	if h.kern == nil {
+		t.Fatal("uniform-geometry 24-slice hierarchy should still build a kernel")
+	}
+	if rt := h.routeFor(Home{Kind: HomeRemote}); rt.mask != 0 {
+		t.Fatalf("socket-wide route mask = %#x, want 0 (non-pow2 slice count)", rt.mask)
+	}
+	if rt := h.routeFor(Home{Kind: HomeLocalDDR, Node: 1}); rt.mask != 7 {
+		t.Fatalf("confined route mask = %#x, want 7", rt.mask)
+	}
+	generic, genericCounts := streamCase(cfg, true)
+	if counts != genericCounts {
+		t.Fatalf("histograms diverge: mixed-dispatch %v, generic %v", counts, genericCounts)
+	}
+	requireHierEqual(t, generic, h)
+}
+
+// TestKernelSkipsMixedMaterialization pins the fallback: a cache that
+// materialized standalone (scalar traffic before the first stream) leaves
+// the arena incomplete, so no kernel is built and streams run generic —
+// with results identical to the same history on an arena-carved twin.
+func TestKernelSkipsMixedMaterialization(t *testing.T) {
+	cfg := shrunkConfig(4)
+	h := NewHierarchy(cfg)
+	seedHierarchy(h) // Access materializes caches standalone
+	rng := sim.NewRng(17)
+	addrs := make([]uint64, 10000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1<<14)) * LineBytes
+	}
+	var counts LevelCounts
+	h.ReadStream(2, addrs, Home{Kind: HomeRemote, Node: 0}, &counts)
+	if h.kern != nil {
+		t.Fatal("mixed standalone/arena hierarchy built a kernel")
+	}
+
+	// The same history through an arena-carved hierarchy (stream first, so
+	// the kernel exists) must land in the same logical state: membership,
+	// recency and counters are layout-independent.
+	ref := NewHierarchy(cfg)
+	ref.materializeAll()
+	if ref.kern == nil {
+		t.Fatal("fresh carve did not build a kernel")
+	}
+	seedHierarchy(ref)
+	var refCounts LevelCounts
+	ref.ReadStream(2, addrs, Home{Kind: HomeRemote, Node: 0}, &refCounts)
+	if counts != refCounts {
+		t.Fatalf("histograms diverge: mixed %v, arena %v", counts, refCounts)
+	}
+	requireHierEqual(t, ref, h)
+}

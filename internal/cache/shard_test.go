@@ -30,7 +30,7 @@ func seedHierarchy(h *Hierarchy) {
 }
 
 // requireHierEqual compares two hierarchies' complete state: every cache's
-// packed words, fingerprint sidecars, recency cursors and statistic
+// packed words, fingerprint sidecars, recency order words and statistic
 // counters, plus the aggregate LLC counters. Byte-identity, not tolerance.
 func requireHierEqual(t *testing.T, want, got *Hierarchy) {
 	t.Helper()
@@ -50,14 +50,9 @@ func requireHierEqual(t *testing.T, want, got *Hierarchy) {
 				t.Fatalf("cache %d word %d diverges: %#x, want %#x", ci, i, g.words[i], w.words[i])
 			}
 		}
-		for i := range w.fps {
-			if w.fps[i] != g.fps[i] {
-				t.Fatalf("cache %d fingerprint %d diverges: %#x, want %#x", ci, i, g.fps[i], w.fps[i])
-			}
-		}
-		for i := range w.fronts {
-			if w.fronts[i] != g.fronts[i] {
-				t.Fatalf("cache %d front %d diverges: %d, want %d", ci, i, g.fronts[i], w.fronts[i])
+		for i := range w.meta {
+			if w.meta[i] != g.meta[i] {
+				t.Fatalf("cache %d sidecar word %d diverges: %#x, want %#x", ci, i, g.meta[i], w.meta[i])
 			}
 		}
 	}

@@ -62,13 +62,20 @@ func newStreamCounters(slices int) *streamCounters {
 
 // streamInto is the fused L1→L2→LLC probe/fill/spill loop shared by
 // ReadStream and the sharded driver. All statistics go to st; cache state
-// (slabs, fingerprints, cursors) is mutated directly. Callers guarantee the
-// hierarchy is materialized and that concurrent calls touch disjoint sets.
+// (slabs, fingerprints, order words) is mutated directly. Callers guarantee
+// the hierarchy is materialized and that concurrent calls touch disjoint
+// sets. When the hierarchy carries a monomorphized kernel and the route is
+// mask-based, the specialized loop (kernel.go) runs instead; the two are
+// access-for-access identical (TestStreamFusedMatchesGeneric pins it).
 func (h *Hierarchy) streamInto(core int, addrs []uint64, rt sliceRoute, homeBits uint64, st *streamCounters) {
+	if h.kern != nil && rt.mask != 0 {
+		h.streamFused(core, addrs, rt, homeBits, st)
+		return
+	}
 	l1, l2 := h.l1[core], h.l2[core]
 	slices := h.slices
-	l1w, l1fp, l1ways, l1shift := l1.words, l1.fps, l1.ways, l1.shift
-	l2w, l2fp, l2ways, l2shift := l2.words, l2.fps, l2.ways, l2.shift
+	l1w, l1m, l1ways, l1shift, l1lru := l1.words, l1.meta, l1.ways, l1.shift, l1.lruShift
+	l2w, l2m, l2ways, l2shift, l2lru := l2.words, l2.meta, l2.ways, l2.shift, l2.lruShift
 	var l1Hit, l1Miss, l1Evict, l2Hit, l2Miss, l2Evict uint64
 	var nL1, nL2, nLLC, nMem uint64
 	for _, addr := range addrs {
@@ -76,14 +83,15 @@ func (h *Hierarchy) streamInto(core int, addrs []uint64, rt sliceRoute, homeBits
 		ptag := line + 1
 		hash := line * fibMul
 		nib := nibbleOf(hash)
+		rep := nib * swarLow
 
 		// L1 probe (hash>>64 is 0 in Go, so a single-set cache needs no
 		// special case).
 		s1 := int(hash >> l1shift)
 		b1 := s1 * l1ways
 		set1 := l1w[b1 : b1+l1ways]
-		if i := findIn(set1, l1fp[s1], nib, ptag); i >= 0 {
-			l1.promoteAt(set1, s1, i, nib)
+		if i := findIn(set1, l1m[2*s1], rep, ptag); i >= 0 {
+			l1m[2*s1+1] = ordPromote(l1m[2*s1+1], i)
 			l1Hit++
 			nL1++
 			continue
@@ -94,11 +102,11 @@ func (h *Hierarchy) streamInto(core int, addrs []uint64, rt sliceRoute, homeBits
 		s2 := int(hash >> l2shift)
 		b2 := s2 * l2ways
 		set2 := l2w[b2 : b2+l2ways]
-		if i := findIn(set2, l2fp[s2], nib, ptag); i >= 0 {
-			l2.promoteAt(set2, s2, i, nib)
+		if i := findIn(set2, l2m[2*s2], rep, ptag); i >= 0 {
+			l2m[2*s2+1] = ordPromote(l2m[2*s2+1], i)
 			l2Hit++
 			// Fill L1; its victims drop silently (L2 is inclusive of L1).
-			if l1.pushSlot(set1, s1, ptag|homeBits, nib) != 0 {
+			if fillSlot(set1, l1m, s1, ptag|homeBits, nib, l1lru) != 0 {
 				l1Evict++
 			}
 			nL2++
@@ -116,9 +124,9 @@ func (h *Hierarchy) streamInto(core int, addrs []uint64, rt sliceRoute, homeBits
 		b3 := s3 * sc.ways
 		set3 := sc.words[b3 : b3+sc.ways]
 		var dirtyBit uint64
-		if i := findIn(set3, sc.fps[s3], nib, ptag); i >= 0 {
+		if i := findIn(set3, sc.meta[2*s3], rep, ptag); i >= 0 {
 			dirtyBit = set3[i] & dirtyFlag
-			sc.removeSlot(set3, s3, i)
+			clearSlot(set3, sc.meta, s3, i, sc.lruShift)
 			st.sliceHits[si]++
 			nLLC++
 		} else {
@@ -128,10 +136,10 @@ func (h *Hierarchy) streamInto(core int, addrs []uint64, rt sliceRoute, homeBits
 
 		// Fill the private levels; spill the L2 victim to its routed slice.
 		fill := ptag | homeBits | dirtyBit
-		if l1.pushSlot(set1, s1, fill, nib) != 0 {
+		if fillSlot(set1, l1m, s1, fill, nib, l1lru) != 0 {
 			l1Evict++
 		}
-		victim := l2.pushSlot(set2, s2, fill, nib)
+		victim := fillSlot(set2, l2m, s2, fill, nib, l2lru)
 		if victim == 0 {
 			continue
 		}
@@ -139,6 +147,7 @@ func (h *Hierarchy) streamInto(core int, addrs []uint64, rt sliceRoute, homeBits
 		vline := victim&ptagMask - 1
 		vhash := vline * fibMul
 		vnib := nibbleOf(vhash)
+		vrep := vnib * swarLow
 		var vi int
 		if victim&homeBitsMask == homeBits {
 			// The common mlc case: the victim shares the stream's home, so
@@ -154,12 +163,12 @@ func (h *Hierarchy) streamInto(core int, addrs []uint64, rt sliceRoute, homeBits
 		// Spill with full Insert semantics: another core's copy of the line
 		// may already sit in the slice, in which case it is refreshed with
 		// the dirty bits merged and the resident home preserved.
-		if vp := findIn(vset, vc.fps[vs], vnib, vline+1); vp >= 0 {
-			w := vc.promoteAt(vset, vs, vp, vnib)
-			vset[int(vc.fronts[vs])] = w | victim&dirtyFlag
+		if vp := findIn(vset, vc.meta[2*vs], vrep, vline+1); vp >= 0 {
+			vc.meta[2*vs+1] = ordPromote(vc.meta[2*vs+1], vp)
+			vset[vp] |= victim & dirtyFlag
 			continue
 		}
-		if vc.pushSlot(vset, vs, victim, vnib) != 0 {
+		if fillSlot(vset, vc.meta, vs, victim, vnib, vc.lruShift) != 0 {
 			st.sliceEvicts[vi]++
 		}
 	}

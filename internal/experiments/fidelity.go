@@ -75,7 +75,7 @@ func (o Options) bufferLatencyNs(sys *topo.System, path *topo.Path, bufBytes int
 		}
 	}
 	return mlc.BufferLatencyOpt(sys, path, bufBytes, samples, o.Seed+3,
-		mlc.StreamOptions{Warm: o.warmup(), Workers: o.workers()}).Nanoseconds()
+		mlc.StreamOptions{Warm: o.warmup(), Workers: o.workers(), Ctx: o.Ctx}).Nanoseconds()
 }
 
 // markFidelity flags a registered experiment as consuming Options.Fidelity.

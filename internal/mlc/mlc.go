@@ -25,6 +25,7 @@
 package mlc
 
 import (
+	"context"
 	"math"
 
 	"cxlmem/internal/cache"
@@ -54,6 +55,20 @@ type StreamOptions struct {
 	// the loaded-latency shape real MLC measures with. 0 or 1 keeps the
 	// single fully-dependent chase (the idle-latency contract).
 	Chains int
+	// Ctx bounds BufferLatency's warmup: it is checked between address
+	// chunks, and a cancellation unwinds as a panic carrying Ctx's error
+	// (the sweep engine's convention — experiments.recoverAsErr restores
+	// it). A canceled warmup is never retained by the warm-state cache.
+	// nil means uncancellable.
+	Ctx context.Context
+}
+
+// context resolves Ctx, nil meaning uncancellable.
+func (o StreamOptions) context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // streamTotal converts a per-level hit histogram into the total simulated
@@ -183,10 +198,63 @@ func BufferLatencyWarm(sys *topo.System, path *topo.Path, bufBytes int64, sample
 	return BufferLatencyOpt(sys, path, bufBytes, samples, seed, StreamOptions{Warm: warm})
 }
 
+// runWarmup brings hier to the buffer measurement's steady state, drawing
+// the warmup stream from rng (which is left positioned at the start of the
+// measurement stream). It is the single warmup implementation: the inline
+// path and the warm-state cache's compute path both call it, so a restored
+// snapshot is byte-identical to a cold warmup by construction. ctx is
+// checked between address chunks; the only error returned is ctx's.
+func runWarmup(ctx context.Context, hier *cache.Hierarchy, home cache.Home, lines int64, rng *sim.Rng, warm Warmup, workers int) error {
+	chunk := make([]uint64, chunkLines)
+	// pass streams one buffer's worth (or an arbitrary count) of random
+	// touches, returning the pass's own level histogram.
+	pass := func(accesses int) (cache.LevelCounts, error) {
+		var c cache.LevelCounts
+		for remaining := accesses; remaining > 0; {
+			if err := ctx.Err(); err != nil {
+				return c, err
+			}
+			n := min(remaining, chunkLines)
+			b := chunk[:n]
+			for i := range b {
+				b[i] = uint64(rng.Int63n(lines)) * cache.LineBytes
+			}
+			hier.ReadStreamSharded(0, b, home, &c, workers)
+			remaining -= n
+		}
+		return c, nil
+	}
+
+	switch warm {
+	case WarmupExact:
+		_, err := pass(int(lines) * WarmMaxPasses)
+		return err
+	case WarmupConverged:
+		prev := math.Inf(-1)
+		for i := 0; i < WarmMaxPasses; i++ {
+			c, err := pass(int(lines))
+			if err != nil {
+				return err
+			}
+			hitRate := float64(c[cache.LLC]) / float64(lines)
+			if math.Abs(hitRate-prev) < WarmTolerance {
+				break
+			}
+			prev = hitRate
+		}
+		return nil
+	default:
+		panic("mlc: unknown warmup mode")
+	}
+}
+
 // BufferLatencyOpt is BufferLatency with explicit StreamOptions. Random
 // accesses are already independent of each other, so the whole warmup and
 // measurement stream is generated ahead of the simulation in large chunks
-// and driven through the sharded engine; Chains has no effect here.
+// and driven through the sharded engine; Chains has no effect here. The
+// warmup goes through the warm-state snapshot cache (warmstate.go) when the
+// hierarchy is pristine: repeated operating points restore the memoized
+// warmed state instead of re-simulating millions of warmup accesses.
 func BufferLatencyOpt(sys *topo.System, path *topo.Path, bufBytes int64, samples int, seed uint64, o StreamOptions) sim.Time {
 	if samples <= 0 || bufBytes < cache.LineBytes {
 		panic("mlc: invalid buffer latency parameters")
@@ -194,49 +262,22 @@ func BufferLatencyOpt(sys *topo.System, path *topo.Path, bufBytes int64, samples
 	hier := sys.Hier
 	home := sys.HomeFor(path, 0)
 	lines := bufBytes / cache.LineBytes
-	rng := sim.NewRng(seed)
+
+	// rng comes back positioned at the start of the measurement stream,
+	// whether the warmup was simulated or restored from a snapshot.
+	rng := warmBuffer(o.context(), hier, home, lines, seed, o)
 
 	chunk := make([]uint64, chunkLines)
-	// fill draws the next n random line addresses from the measurement's
-	// single RNG stream (same stream and order as the historical scalar
-	// loop consumed).
-	fill := func(n int) []uint64 {
+	var counts cache.LevelCounts
+	for remaining := samples; remaining > 0; {
+		n := min(remaining, chunkLines)
 		b := chunk[:n]
 		for i := range b {
 			b[i] = uint64(rng.Int63n(lines)) * cache.LineBytes
 		}
-		return b
+		hier.ReadStreamSharded(0, b, home, &counts, o.Workers)
+		remaining -= n
 	}
-	// pass streams one buffer's worth (or an arbitrary count) of random
-	// touches, returning the pass's own level histogram.
-	pass := func(accesses int) cache.LevelCounts {
-		var c cache.LevelCounts
-		for remaining := accesses; remaining > 0; {
-			n := min(remaining, chunkLines)
-			hier.ReadStreamSharded(0, fill(n), home, &c, o.Workers)
-			remaining -= n
-		}
-		return c
-	}
-
-	switch o.Warm {
-	case WarmupExact:
-		pass(int(lines) * WarmMaxPasses)
-	case WarmupConverged:
-		prev := math.Inf(-1)
-		for i := 0; i < WarmMaxPasses; i++ {
-			c := pass(int(lines))
-			hitRate := float64(c[cache.LLC]) / float64(lines)
-			if math.Abs(hitRate-prev) < WarmTolerance {
-				break
-			}
-			prev = hitRate
-		}
-	default:
-		panic("mlc: unknown warmup mode")
-	}
-
-	counts := pass(samples)
 	return streamTotal(path, &counts) / sim.Time(samples)
 }
 

@@ -242,6 +242,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		`cxlserve_request_latency_seconds_count{endpoint="/v1/run"} 3`,
 		`cxlserve_request_latency_seconds{endpoint="/v1/run",quantile="0.99"}`,
 		`cxlserve_cache_misses_total{cache="dataset"}`,
+		`cxlserve_cache_hits_total{cache="warmstate"}`,
+		`cxlserve_cache_entries{cache="warmstate"}`,
 		`cxlserve_inflight 0`,
 		`cxlserve_shed_total 0`,
 		`cxlserve_draining 0`,

@@ -15,6 +15,7 @@ import (
 
 	"cxlmem/internal/experiments"
 	"cxlmem/internal/memo"
+	"cxlmem/internal/mlc"
 	"cxlmem/internal/stats"
 )
 
@@ -111,7 +112,7 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		for _, c := range []struct {
 			name string
 			st   memo.CacheStats
-		}{{"dataset", dataset}, {"cell", cell}} {
+		}{{"dataset", dataset}, {"cell", cell}, {"warmstate", mlc.WarmStateStats()}} {
 			fmt.Fprintf(wr, "cxlserve_cache_hits_total{cache=%q} %d\n", c.name, c.st.Hits)
 			fmt.Fprintf(wr, "cxlserve_cache_misses_total{cache=%q} %d\n", c.name, c.st.Misses)
 			fmt.Fprintf(wr, "cxlserve_cache_evictions_total{cache=%q} %d\n", c.name, c.st.Evictions)

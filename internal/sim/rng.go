@@ -34,18 +34,35 @@ func (r *Rng) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
+// State returns the generator's internal state, for checkpointing: NewRng of
+// a saved State resumes the stream exactly where it left off (NewRng seeds
+// the state directly). The warm-state snapshot cache (internal/mlc) relies
+// on this to restore a measurement loop mid-stream.
+func (r *Rng) State() uint64 { return r.state }
+
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
+// Power-of-two bounds take a mask fast path; u % n == u & (n-1) for those n,
+// so the value stream is identical — the mask just skips the hardware divide
+// in the address-generation hot loops, whose bounds (line counts of
+// power-of-two buffers) are almost always powers of two.
 func (r *Rng) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive bound")
+	}
+	if n&(n-1) == 0 {
+		return int(r.Uint64() & uint64(n-1))
 	}
 	return int(r.Uint64() % uint64(n))
 }
 
 // Int63n returns a uniform value in [0, n). It panics if n <= 0.
+// Power-of-two bounds take the same mask fast path as Intn.
 func (r *Rng) Int63n(n int64) int64 {
 	if n <= 0 {
 		panic("sim: Int63n with non-positive bound")
+	}
+	if n&(n-1) == 0 {
+		return int64(r.Uint64() & uint64(n-1))
 	}
 	return int64(r.Uint64() % uint64(n))
 }

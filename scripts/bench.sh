@@ -15,10 +15,15 @@
 # Entries are single-shot (-benchtime=1x). Sub-10 ms experiments jitter by
 # integer factors run to run, so those entries are re-run twice more and
 # recorded best-of-3 — the minimum is the stable statistic for a
-# deterministic workload. compare additionally only *fails* on a >25%
-# regression when the new time is also above a 5 ms noise floor (the gate
-# exists for the second-scale hot paths like fig5/ablation-llc). Noisy
+# deterministic workload. The two second-scale hot IDs (fig5, ablation-llc)
+# are also best-of-3: their re-runs share one process, so runs 2 and 3 hit
+# the warm-state snapshot cache and the recorded minimum is the steady-state
+# regeneration cost cxlserve pays once warm (the cold bootstrap shot is
+# still phase 1's time). compare additionally only *fails* on a >25%
+# regression when the new time is also above a 5 ms noise floor. Noisy
 # small entries are still printed, marked "noise floor".
+#
+#   scripts/bench.sh profile  # CPU-profile the two hot IDs, print top-10
 #
 # Future PRs compare their BENCH_<N>.json against the committed history to
 # spot regressions on the hot paths.
@@ -73,6 +78,30 @@ if [ "${1:-}" = "compare" ]; then
 	exit $?
 fi
 
+# profile mode: per-ID CPU profiles of the two second-scale hot experiments,
+# each in its own process so the profile captures the cold regeneration path
+# (warm-state restores would otherwise hide the simulation hot loop). Prints
+# the top-10 functions by flat time; profiles and the test binary are kept
+# for interactive `go tool pprof` follow-up.
+if [ "${1:-}" = "profile" ]; then
+	dir="${TMPDIR:-/tmp}/cxlmem-bench-profiles"
+	mkdir -p "$dir"
+	go test -c -o "$dir/cxlmem.test" .
+	for name in Fig5 AblationLLC; do
+		case "$name" in
+		Fig5) id=fig5 ;;
+		AblationLLC) id=ablation-llc ;;
+		esac
+		echo "== $id =="
+		"$dir/cxlmem.test" -test.run '^$' -test.bench "^Benchmark${name}\$" \
+			-test.benchtime=1x -test.cpuprofile "$dir/$id.pprof"
+		go tool pprof -top -nodecount=10 "$dir/cxlmem.test" "$dir/$id.pprof"
+		echo
+	done
+	echo "profiles kept in $dir (go tool pprof $dir/cxlmem.test $dir/<id>.pprof)"
+	exit 0
+fi
+
 n="${1:-1}"
 out="BENCH_${n}.json"
 
@@ -95,23 +124,29 @@ if ! [ -s "$raw" ]; then
 	exit 1
 fi
 
-# Phase 2: entries under 10 ms are re-run twice more and recorded best-of-3.
-# A single -benchtime=1x shot of a sub-10 ms experiment jitters by integer
-# factors (scheduler + cache effects dwarf the work); the minimum of three is
-# the stable statistic for a deterministic workload. Second-scale entries
-# are left single-shot — re-running them would triple bench time for noise
+# Phase 2: re-run twice more and record best-of-3 for two classes of entry.
+# Entries under 10 ms jitter by integer factors on a single -benchtime=1x
+# shot (scheduler + cache effects dwarf the work); the minimum of three is
+# the stable statistic for a deterministic workload. The two second-scale
+# hot IDs (Fig5, AblationLLC) join them for a different reason: every
+# regeneration after the first restores the warmed hierarchy from the
+# warm-state snapshot cache instead of re-simulating warmup, so their
+# steady-state cost only appears on repeat runs within one process. Both
+# re-runs share a single process via -count=2 (count runs back to back, so
+# runs 2 and 3 of the hot IDs hit the cache) and the minimum records the
+# per-regeneration cost a warm cxlserve pays. Other second-scale entries
+# stay single-shot — re-running them would stretch bench time for noise
 # that is already proportionally small.
-fast=$(awk '$2 + 0 < 10000000 { printf "%s%s", sep, $1; sep = "|" }' "$raw")
+fast=$(awk '$2 + 0 < 10000000 || $1 == "Fig5" || $1 == "AblationLLC" \
+	{ printf "%s%s", sep, $1; sep = "|" }' "$raw")
 if [ -n "$fast" ]; then
-	for _ in 1 2; do
-		go test -run '^$' -bench "^Benchmark(${fast})\$" -benchtime=1x . |
-			awk '/^Benchmark/ {
-				name = $1
-				sub(/^Benchmark/, "", name)
-				sub(/-[0-9]+$/, "", name)
-				print name, $3
-			}' >>"$raw"
-	done
+	go test -run '^$' -bench "^Benchmark(${fast})\$" -benchtime=1x -count=2 . |
+		awk '/^Benchmark/ {
+			name = $1
+			sub(/^Benchmark/, "", name)
+			sub(/-[0-9]+$/, "", name)
+			print name, $3
+		}' >>"$raw"
 fi
 
 awk -v start="$start_ns" '
